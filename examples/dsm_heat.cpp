@@ -1,0 +1,85 @@
+// Shared-memory programming on the GeNIMA-like DSM: a 1D heat-diffusion
+// stencil over a shared array, domain-decomposed across four nodes with
+// barrier synchronization — the style of application GeNIMA hosts, built
+// entirely on MultiEdge remote memory operations underneath.
+//
+//   $ ./dsm_heat
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "dsm/dsm.hpp"
+#include "dsm/shared_array.hpp"
+#include "stats/table.hpp"
+
+using namespace multiedge;
+
+int main() {
+  constexpr std::size_t kCells = 1 << 16;
+  constexpr int kSteps = 12;
+
+  Cluster cluster(config_1l_1g(4));
+  dsm::DsmConfig dcfg;
+  dcfg.shared_bytes = 8 << 20;
+  dsm::DsmSystem sys(cluster, dcfg);
+
+  // Two shared grids, ping-ponged between steps.
+  const std::uint64_t grid_va[2] = {
+      sys.shared_alloc(kCells * sizeof(double), 4096),
+      sys.shared_alloc(kCells * sizeof(double), 4096),
+  };
+
+  sys.run([&](dsm::Dsm& d) {
+    const std::size_t chunk = kCells / d.num_nodes();
+    const std::size_t lo = d.rank() * chunk;
+    const std::size_t hi = lo + chunk;
+
+    // Initialize my chunk: a hot spike in the middle of the domain.
+    {
+      dsm::SharedArray<double> g(&d, grid_va[0], kCells);
+      double* mine = g.write(lo, chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        mine[i - lo] = (i == kCells / 2) ? 1e6 : 0.0;
+      }
+    }
+    d.barrier();
+
+    for (int step = 0; step < kSteps; ++step) {
+      dsm::SharedArray<double> src(&d, grid_va[step % 2], kCells);
+      dsm::SharedArray<double> dst(&d, grid_va[1 - step % 2], kCells);
+
+      // Read my chunk plus one halo cell on each side (halo reads fetch the
+      // neighbouring nodes' boundary pages).
+      const std::size_t rlo = lo == 0 ? 0 : lo - 1;
+      const std::size_t rhi = hi == kCells ? kCells : hi + 1;
+      const double* in = src.read(rlo, rhi - rlo);
+      double* out = dst.write(lo, chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double left = i == 0 ? 0.0 : in[i - 1 - rlo];
+        const double right = i + 1 == kCells ? 0.0 : in[i + 1 - rlo];
+        out[i - lo] = in[i - rlo] + 0.25 * (left - 2.0 * in[i - rlo] + right);
+      }
+      d.compute_units(static_cast<double>(chunk), 5.0);
+      d.barrier();
+    }
+
+    if (d.rank() == 0) {
+      // Total heat is conserved (up to the boundary losses).
+      dsm::SharedArray<double> g(&d, grid_va[kSteps % 2], kCells);
+      const double* all = g.read(0, kCells);
+      double total = 0;
+      for (std::size_t i = 0; i < kCells; ++i) total += all[i];
+      std::cout << "heat after " << kSteps << " steps: " << total
+                << " (expected ~1e6)\n";
+    }
+    d.barrier();
+  });
+
+  const dsm::DsmNodeStats& s = sys.node_stats(1);
+  std::cout << "node 1: " << s.read_faults << " read faults, "
+            << s.pages_fetched << " pages fetched, " << s.diffs_flushed
+            << " diffs flushed, " << s.barriers << " barriers\n"
+            << "simulated time: "
+            << stats::fmt_double(sim::to_ms(cluster.sim().now()), 2) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reliability under faults (§2.4): transfers complete despite dropped
+// frames, FCS-corrupted frames, and a transient link outage — recovered by
+// NACK-triggered retransmissions and the coarse retransmission timeout.
+//
+//   $ ./failure_recovery
+#include <iostream>
+
+#include "core/api.hpp"
+#include "stats/table.hpp"
+
+using namespace multiedge;
+
+static void run_case(const std::string& label, double drop, double corrupt,
+                     bool outage) {
+  ClusterConfig cfg = config_1l_1g(2);
+  cfg.topology.link.drop_prob = drop;
+  cfg.topology.link.corrupt_prob = corrupt;
+  Cluster cluster(cfg);
+
+  constexpr std::size_t kSize = 512 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  auto s = cluster.memory(0).view_mut(src, kSize);
+  for (std::size_t i = 0; i < kSize; ++i) {
+    s[i] = static_cast<std::byte>((i * 131) & 0xff);
+  }
+  if (outage) {
+    // Kill the uplink for 4 ms in the middle of the transfer.
+    cluster.network().uplink(0, 0).faults().outages.push_back(
+        {sim::ms(3), sim::ms(7)});
+  }
+
+  cluster.spawn(0, "sender", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  bool delivered = false;
+  cluster.spawn(1, "receiver", [&](Endpoint& ep) {
+    ep.wait_notification();
+    auto d = ep.memory().view(dst, kSize);
+    delivered = true;
+    for (std::size_t i = 0; i < kSize; ++i) {
+      if (d[i] != static_cast<std::byte>((i * 131) & 0xff)) {
+        delivered = false;
+        break;
+      }
+    }
+  });
+  cluster.run();
+
+  const auto agg = cluster.engine(0).aggregate_counters();
+  std::cout << label << ": " << (delivered ? "delivered intact" : "CORRUPT")
+            << " in " << stats::fmt_double(sim::to_ms(cluster.sim().now()), 1)
+            << " ms; retransmissions=" << agg.get("retransmissions")
+            << " rto_events=" << agg.get("rto_events")
+            << " nacks=" << agg.get("nacks_rcvd") << "\n";
+}
+
+int main() {
+  run_case("clean network        ", 0.0, 0.0, false);
+  run_case("2% frame drops       ", 0.02, 0.0, false);
+  run_case("1% FCS corruption    ", 0.0, 0.01, false);
+  run_case("4ms link blackout    ", 0.0, 0.0, true);
+  run_case("drops+corrupt+outage ", 0.02, 0.01, true);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Spatial parallelism: one connection transparently striping frames over two
+// physical links (§2.5), with out-of-order delivery and fences.
+//
+// Shows: throughput doubling from the second rail, the out-of-order fraction
+// the striping induces, and how a backward fence pins one operation behind
+// its predecessors while everything else reorders freely.
+//
+//   $ ./multirail_striping
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/microbench.hpp"
+
+using namespace multiedge;
+
+static void throughput_demo() {
+  std::cout << "-- one-way throughput, 64 KiB messages --\n";
+  for (int rails = 1; rails <= 2; ++rails) {
+    ClusterConfig cfg = rails == 1 ? config_1l_1g(2) : config_2lu_1g(2);
+    MicroParams p;
+    p.message_bytes = 64 * 1024;
+    MicroResult r = run_micro(cfg, MicroBench::kOneWay, p);
+    std::cout << "  " << rails << " rail(s): " << r.throughput_mbs
+              << " MB/s, out-of-order " << r.ooo_fraction() * 100 << "%\n";
+  }
+}
+
+static void fence_demo() {
+  std::cout << "-- fences on a striped connection --\n";
+  Cluster cluster(config_2lu_1g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(1 << 16);
+  const std::uint64_t dst = cluster.memory(1).alloc(1 << 16);
+
+  cluster.spawn(0, "writer", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    // A stream of independent writes: free to reorder across the two rails.
+    for (int i = 0; i < 8; ++i) {
+      c.rdma_write(dst + i * 4096, src + i * 4096, 4096);
+    }
+    // This "commit record" must not be applied before the data above:
+    // backward fence. And nothing after it may overtake it: forward fence.
+    OpHandle commit = c.rdma_write(
+        dst, src, 64,
+        static_cast<std::uint16_t>(kOpFlagBackwardFence | kOpFlagForwardFence |
+                                   kOpFlagNotify));
+    commit.wait();
+    std::cout << "  commit applied only after all 8 data writes\n";
+  });
+  cluster.spawn(1, "reader", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+
+  const auto& conn = *cluster.engine(0).connections().front();
+  std::cout << "  frames sent: " << conn.counters().get("data_frames_sent")
+            << " across 2 rails\n";
+}
+
+int main() {
+  throughput_demo();
+  fence_demo();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: a two-node MultiEdge cluster, one connection, and the three
+// remote memory operations (write + notification, read, scatter write).
+//
+//   $ ./quickstart
+#include <cstring>
+#include <iostream>
+
+#include "core/api.hpp"
+
+using namespace multiedge;
+
+int main() {
+  // A 2-node cluster on a single 1-GBit/s switched Ethernet (the paper's
+  // 1L-1G setup). Each node has two CPUs: one for the application, one for
+  // the protocol.
+  Cluster cluster(config_1l_1g(/*nodes=*/2));
+
+  // Carve some memory on both nodes. Virtual addresses are per-node.
+  const std::uint64_t src = cluster.memory(0).alloc(4096);
+  const std::uint64_t dst = cluster.memory(1).alloc(4096);
+  const std::uint64_t back = cluster.memory(0).alloc(4096);
+
+  cluster.spawn(0, "initiator", [&](Endpoint& ep) {
+    // Fill a local buffer.
+    auto buf = ep.memory().view_mut(src, 4096);
+    for (int i = 0; i < 4096; ++i) buf[i] = static_cast<std::byte>(i & 0xff);
+
+    // Connect and issue an asynchronous remote write; ask for a completion
+    // notification on the remote side (the flags bit-field of the paper's
+    // RDMA_operation).
+    Connection conn = ep.connect(1);
+    OpHandle h = conn.rdma_write(dst, src, 4096, kOpFlagNotify);
+    h.wait();  // local completion: every frame acknowledged
+    std::cout << "[node 0] write complete at t=" << sim::to_us(cluster.sim().now())
+              << " us\n";
+
+    // Remote read the data straight back into another buffer.
+    conn.rdma_read(back, dst, 4096).wait();
+    const bool ok = std::memcmp(ep.memory().view(src, 4096).data(),
+                                ep.memory().view(back, 4096).data(), 4096) == 0;
+    std::cout << "[node 0] read-back " << (ok ? "matches" : "MISMATCH") << "\n";
+
+    // Scatter write: two disjoint segments in one operation.
+    ScatterSegment segs[2] = {
+        {0, src, 64},
+        {2048, src + 64, 64},
+    };
+    conn.rdma_scatter_write(dst, segs, kOpFlagNotify).wait();
+    std::cout << "[node 0] scatter write complete\n";
+  });
+
+  cluster.spawn(1, "target", [&](Endpoint& ep) {
+    // The target only consumes notifications; data lands in its memory
+    // without any pre-posted receive buffers.
+    Notification n = ep.wait_notification();
+    std::cout << "[node 1] notified: " << n.size << " bytes at va=" << n.va
+              << " from node " << n.src_node << "\n";
+    ep.wait_notification();  // the scatter write
+    std::cout << "[node 1] scatter notification received\n";
+  });
+
+  cluster.run();
+  std::cout << "simulated time: " << sim::to_us(cluster.sim().now()) << " us\n";
+  return 0;
+}

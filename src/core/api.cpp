@@ -1,0 +1,280 @@
+#include "core/api.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace multiedge {
+
+// ---------------------------------------------------------------------------
+// Connection / operations
+// ---------------------------------------------------------------------------
+
+OpHandle Connection::rdma_operation(std::uint64_t remote_va,
+                                    std::uint64_t local_va, std::uint32_t size,
+                                    RdmaOp op, std::uint16_t flags) {
+  assert(conn_ != nullptr && "operation on an unconnected handle");
+  Endpoint& ep = *ep_;
+  const proto::HostCostModel& costs = ep.engine().costs();
+
+  if (op == RdmaOp::kWrite) {
+    // §2.3 initiator path: syscall, then copy user data into kernel-level
+    // DMA-capable buffers — the host-overhead part of an operation. Sources
+    // inside a registered (pinned) region skip the copy: the NIC DMAs
+    // straight from user memory.
+    const sim::Time copy =
+        ep.is_registered(local_va, size) ? 0 : costs.copy_cost_app(size);
+    ep.charge_protocol(costs.syscall_cost + costs.op_build_cost + copy);
+    auto data = ep.memory().view(local_va, size);
+    return OpHandle(conn_->submit_write(remote_va, data, flags, ep.app_cpu()));
+  }
+  // Reads carry no data out, only the request descriptor.
+  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost);
+  return OpHandle(conn_->submit_read(local_va, remote_va, size, flags,
+                                     ep.app_cpu()));
+}
+
+OpHandle Connection::rdma_scatter_write(std::uint64_t remote_base_va,
+                                        std::span<const ScatterSegment> segments,
+                                        std::uint16_t flags) {
+  assert(conn_ != nullptr && !segments.empty());
+  Endpoint& ep = *ep_;
+  const proto::HostCostModel& costs = ep.engine().costs();
+
+  std::vector<proto::ScatterChunk> chunks;
+  std::vector<std::span<const std::byte>> data;
+  chunks.reserve(segments.size());
+  data.reserve(segments.size());
+  std::size_t total = 0;
+  for (const ScatterSegment& s : segments) {
+    chunks.push_back(proto::ScatterChunk{
+        static_cast<std::uint32_t>(s.remote_offset), s.length});
+    data.push_back(ep.memory().view(s.local_va, s.length));
+    total += s.length;
+  }
+  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost +
+                     costs.copy_cost_app(total));
+  const std::vector<std::byte> encoded = proto::encode_scatter_payload(
+      chunks, std::span<const std::span<const std::byte>>(data));
+  return OpHandle(
+      conn_->submit_scatter_write(remote_base_va, encoded, flags, ep.app_cpu()));
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+Endpoint::Endpoint(Cluster& cluster, int node_id, proto::Engine& engine,
+                   proto::MemorySpace& memory, sim::Cpu& app_cpu)
+    : cluster_(cluster),
+      node_id_(node_id),
+      engine_(engine),
+      memory_(memory),
+      app_cpu_(app_cpu) {}
+
+void Endpoint::charge_protocol(sim::Time t) {
+  proto_app_time_ += t;
+  app_cpu_.consume(t);
+}
+
+void Endpoint::compute(sim::Time t) { app_cpu_.consume(t); }
+
+Connection Endpoint::connect(int peer) {
+  charge_protocol(engine_.costs().syscall_cost);
+  proto::Connection* c = engine_.connect(peer);
+  while (c->state() != proto::ConnState::kEstablished) {
+    engine_.conn_events().wait();
+  }
+  return Connection(this, c);
+}
+
+Connection Endpoint::accept(int peer) {
+  proto::Connection* c = nullptr;
+  while ((c = engine_.responder_for(peer)) == nullptr) {
+    engine_.conn_events().wait();
+  }
+  return Connection(this, c);
+}
+
+void Endpoint::register_memory(std::uint64_t va, std::size_t len) {
+  assert(len > 0 && va + len <= memory_.size());
+  // Pinning pages is a system call per region.
+  charge_protocol(engine_.costs().syscall_cost);
+  registered_[va] = std::max(registered_[va], va + len);
+}
+
+void Endpoint::deregister_memory(std::uint64_t va, std::size_t len) {
+  (void)len;
+  charge_protocol(engine_.costs().syscall_cost);
+  registered_.erase(va);
+}
+
+bool Endpoint::is_registered(std::uint64_t va, std::size_t len) const {
+  auto it = registered_.upper_bound(va);
+  if (it == registered_.begin()) return false;
+  --it;
+  return va + len <= it->second;
+}
+
+Notification Endpoint::wait_notification() {
+  while (!engine_.has_notification()) {
+    engine_.notify_events().wait();
+  }
+  charge_protocol(engine_.costs().syscall_cost);
+  return engine_.pop_notification();
+}
+
+bool Endpoint::poll_notification(Notification* out) {
+  if (!engine_.has_notification()) return false;
+  *out = engine_.pop_notification();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ClusterConfig base_1g(int nodes, int rails) {
+  ClusterConfig cfg;
+  cfg.topology.num_nodes = nodes;
+  cfg.topology.rails = rails;
+  cfg.topology.link.gbps = 1.0;
+  cfg.topology.nic = net::broadcom_tg3_config();
+  return cfg;
+}
+
+}  // namespace
+
+ClusterConfig config_1l_1g(int nodes) { return base_1g(nodes, 1); }
+
+ClusterConfig config_2l_1g(int nodes) {
+  ClusterConfig cfg = base_1g(nodes, 2);
+  cfg.protocol.in_order_delivery = true;
+  return cfg;
+}
+
+ClusterConfig config_2lu_1g(int nodes) {
+  ClusterConfig cfg = base_1g(nodes, 2);
+  cfg.protocol.in_order_delivery = false;
+  return cfg;
+}
+
+ClusterConfig config_1l_10g(int nodes) {
+  ClusterConfig cfg;
+  cfg.topology.num_nodes = nodes;
+  cfg.topology.rails = 1;
+  cfg.topology.link.gbps = 10.0;
+  cfg.topology.nic = net::myricom_10g_config();
+  return cfg;
+}
+
+Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
+  network_ = std::make_unique<net::Network>(sim_, cfg_.topology);
+  const int n = cfg_.topology.num_nodes;
+  const int rails = cfg_.topology.rails;
+
+  // MAC directory shared by all engines.
+  std::vector<std::vector<net::MacAddr>> macs(n);
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < rails; ++r) macs[i].push_back(network_->nic(i, r).mac());
+  }
+
+  nodes_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto ns = std::make_unique<NodeState>();
+    ns->memory = std::make_unique<proto::MemorySpace>(cfg_.memory_bytes_per_node);
+    ns->app_cpu =
+        std::make_unique<sim::Cpu>(sim_, "n" + std::to_string(i) + ".cpu0");
+    ns->proto_cpu =
+        std::make_unique<sim::Cpu>(sim_, "n" + std::to_string(i) + ".cpu1");
+    ns->engine = std::make_unique<proto::Engine>(sim_, i, *ns->memory,
+                                                 *ns->proto_cpu, cfg_.protocol,
+                                                 cfg_.costs);
+    for (int r = 0; r < rails; ++r) {
+      ns->drivers.push_back(
+          std::make_unique<driver::SimNetDriver>(network_->nic(i, r)));
+      ns->engine->add_rail(ns->drivers.back().get());
+    }
+    ns->engine->set_mac_table(macs);
+    ns->endpoint = std::make_unique<Endpoint>(*this, i, *ns->engine, *ns->memory,
+                                              *ns->app_cpu);
+    nodes_.push_back(std::move(ns));
+  }
+}
+
+Cluster::~Cluster() {
+  // Fibers must not outlive the cluster in a suspended state; drain anything
+  // still runnable so their stacks unwind naturally.
+  for (auto& p : processes_) {
+    if (!p->done()) {
+      // Deliberately leak un-finished fibers' Process objects rather than
+      // destroying a live stack; tests always run() to completion.
+      p.release();  // NOLINT(bugprone-unused-return-value)
+    }
+  }
+}
+
+void Cluster::spawn(int node, std::string name,
+                    std::function<void(Endpoint&)> body) {
+  Endpoint& ep = endpoint(node);
+  auto proc = std::make_unique<sim::Process>(
+      sim_, std::move(name), [body = std::move(body), &ep] { body(ep); });
+  proc->start();
+  processes_.push_back(std::move(proc));
+}
+
+void Cluster::run() {
+  while (true) {
+    bool all_done = true;
+    for (const auto& p : processes_) all_done = all_done && p->done();
+    if (all_done) return;
+    if (!sim_.step()) {
+      throw std::runtime_error(
+          "Cluster::run(): event queue drained with fibers still blocked "
+          "(deadlock)");
+    }
+  }
+}
+
+void Cluster::connect_all_mesh() {
+  const int n = num_nodes();
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  int remaining = n;
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<sim::Process>(
+        sim_, "mesh" + std::to_string(i), [this, i, n, &remaining] {
+          for (int j = 0; j < n; ++j) {
+            if (j != i) endpoint(i).connect(j);
+          }
+          --remaining;
+        }));
+    procs.back()->start();
+  }
+  while (remaining > 0) {
+    if (!sim_.step()) {
+      throw std::runtime_error("connect_all_mesh(): deadlock");
+    }
+  }
+}
+
+void Cluster::reset_cpu_windows() {
+  for (auto& ns : nodes_) {
+    ns->app_cpu->reset_window();
+    ns->proto_cpu->reset_window();
+    ns->proto_app_time_window0 = ns->endpoint->protocol_time_on_app_cpu();
+    ns->window_start = sim_.now();
+  }
+}
+
+double Cluster::protocol_cpu_utilization(int node) const {
+  const NodeState& ns = *nodes_[node];
+  const sim::Time elapsed = sim_.now() - ns.window_start;
+  if (elapsed <= 0) return 0.0;
+  const sim::Time app_proto =
+      ns.endpoint->protocol_time_on_app_cpu() - ns.proto_app_time_window0;
+  const double app_frac = static_cast<double>(app_proto) / elapsed;
+  return ns.proto_cpu->utilization() + app_frac;
+}
+
+}  // namespace multiedge

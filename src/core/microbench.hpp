@@ -1,0 +1,63 @@
+// The paper's three micro-benchmarks (§3), reusable by the bench binaries,
+// the calibration tests, and the ablation studies.
+//
+//   ping-pong — request/reply remote writes between two nodes; "latency"
+//               reports one-way memory-to-memory time per operation.
+//   one-way   — back-to-back remote writes in one direction; "latency"
+//               reports the host overhead to initiate an operation.
+//   two-way   — simultaneous one-way transfers in both directions;
+//               throughput is the sum of both nodes' transfer rates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/api.hpp"
+
+namespace multiedge {
+
+enum class MicroBench { kPingPong, kOneWay, kTwoWay };
+
+std::string to_string(MicroBench b);
+
+struct MicroResult {
+  /// Ping-pong: one-way memory-to-memory latency per op. One-/two-way: host
+  /// overhead to initiate an operation. Microseconds.
+  double latency_us = 0;
+  /// Payload throughput in MB/s (two-way: both directions summed).
+  double throughput_mbs = 0;
+  /// Protocol CPU utilization (paper Figure 2(c)): max over the two nodes,
+  /// out of 2.0 (two CPUs per node).
+  double cpu_utilization = 0;
+
+  // Network-level statistics over the measurement window (§4).
+  std::uint64_t data_frames = 0;      // data frames received (both nodes)
+  std::uint64_t ooo_frames = 0;       // received out of order
+  std::uint64_t ack_frames = 0;       // explicit ACK/NACK frames
+  std::uint64_t retransmissions = 0;  // data frames retransmitted
+  std::uint64_t dropped_frames = 0;   // lost in the network (links+switches+NICs)
+
+  double ooo_fraction() const {
+    return data_frames ? static_cast<double>(ooo_frames) / data_frames : 0.0;
+  }
+  /// Extra frames beyond the application data (explicit acks + retx).
+  double extra_frame_fraction() const {
+    return data_frames
+               ? static_cast<double>(ack_frames + retransmissions) / data_frames
+               : 0.0;
+  }
+};
+
+struct MicroParams {
+  std::size_t message_bytes = 4096;
+  /// Operations per direction; 0 = pick automatically so the measurement
+  /// moves a fixed volume of data (longer runs for small messages).
+  int iterations = 0;
+};
+
+/// Run one micro-benchmark on a fresh 2-node cluster built from `cfg`
+/// (cfg.topology.num_nodes is forced to 2).
+MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params);
+
+}  // namespace multiedge

@@ -1,0 +1,46 @@
+// Hardware-driver layer (§2.1): the hardware-independent interface the
+// protocol layer programs against. Drivers perform only simple low-level
+// access — frame transmission/reception, interrupt masking, completion
+// reaping — while all protocol intelligence lives above.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace multiedge::driver {
+
+class NetDriver {
+ public:
+  virtual ~NetDriver() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual net::MacAddr mac() const = 0;
+  virtual double gbps() const = 0;
+
+  /// Post a frame for transmission; false if the hardware ring is full.
+  virtual bool transmit(net::FramePtr frame) = 0;
+
+  /// Pop the next received frame, nullptr when none.
+  virtual net::FramePtr poll_rx() = 0;
+
+  /// Reclaim send-buffer slots; returns how many completed since last call.
+  virtual std::uint64_t reap_tx_completions() = 0;
+
+  /// Anything for the protocol thread to process?
+  virtual bool events_pending() const = 0;
+
+  virtual void enable_interrupts(bool enabled) = 0;
+  virtual bool interrupts_enabled() const = 0;
+
+  /// Low-level interrupt hook. The handler runs in "interrupt context": it
+  /// should only mask interrupts and signal the protocol layer.
+  virtual void set_interrupt_handler(std::function<void()> handler) = 0;
+
+  /// Free tx descriptor slots (for backpressure decisions).
+  virtual std::size_t tx_space() const = 0;
+};
+
+}  // namespace multiedge::driver

@@ -1,0 +1,45 @@
+// NetDriver implementation over the simulated NIC models. The per-hardware
+// differences (ring sizes, DMA latencies, the 10G unmaskable send-completion
+// interrupt) live in the NicConfig presets in net/topology.hpp, so this one
+// driver class covers the tg3 / e1000 / myri10ge variants the paper supports.
+#pragma once
+
+#include "driver/net_driver.hpp"
+#include "net/nic.hpp"
+
+namespace multiedge::driver {
+
+class SimNetDriver final : public NetDriver {
+ public:
+  explicit SimNetDriver(net::Nic& nic) : nic_(nic), name_(nic.config().model) {}
+
+  const std::string& name() const override { return name_; }
+  net::MacAddr mac() const override { return nic_.mac(); }
+  double gbps() const override { return nic_.config().gbps; }
+
+  bool transmit(net::FramePtr frame) override {
+    return nic_.tx(std::move(frame));
+  }
+  net::FramePtr poll_rx() override { return nic_.rx_pop(); }
+  std::uint64_t reap_tx_completions() override {
+    return nic_.take_tx_completions();
+  }
+  bool events_pending() const override { return nic_.events_pending(); }
+  void enable_interrupts(bool enabled) override {
+    nic_.set_irq_enabled(enabled);
+  }
+  bool interrupts_enabled() const override { return nic_.irq_enabled(); }
+  void set_interrupt_handler(std::function<void()> handler) override {
+    nic_.set_irq_handler(std::move(handler));
+  }
+  std::size_t tx_space() const override { return nic_.tx_space(); }
+
+  const net::Nic::Stats& nic_stats() const { return nic_.stats(); }
+  net::Nic& nic() { return nic_; }
+
+ private:
+  net::Nic& nic_;
+  std::string name_;
+};
+
+}  // namespace multiedge::driver

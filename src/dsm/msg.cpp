@@ -1,0 +1,65 @@
+#include "dsm/msg.hpp"
+
+#include <cstring>
+
+namespace multiedge::dsm {
+namespace {
+
+template <typename T>
+void put(std::vector<std::byte>& out, T v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+template <typename T>
+bool take(std::span<const std::byte> buf, std::size_t& off, T& v) {
+  if (off + sizeof v > buf.size()) return false;
+  std::memcpy(&v, buf.data() + off, sizeof v);
+  off += sizeof v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::byte> Message::encode() const {
+  std::vector<std::byte> out;
+  put(out, static_cast<std::uint16_t>(type));
+  put(out, src);
+  put(out, id);
+  put(out, epoch);
+  put(out, static_cast<std::uint32_t>(notices.size()));
+  for (const NoticeSection& s : notices) {
+    put(out, s.writer);
+    put(out, static_cast<std::uint32_t>(s.pages.size()));
+    for (std::uint32_t p : s.pages) put(out, p);
+  }
+  return out;
+}
+
+bool Message::decode(std::span<const std::byte> buf, Message& out) {
+  std::size_t off = 0;
+  std::uint16_t type = 0;
+  std::uint32_t nsections = 0;
+  if (!take(buf, off, type) || !take(buf, off, out.src) ||
+      !take(buf, off, out.id) || !take(buf, off, out.epoch) ||
+      !take(buf, off, nsections)) {
+    return false;
+  }
+  out.type = static_cast<MsgType>(type);
+  out.notices.clear();
+  out.notices.reserve(nsections);
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    NoticeSection s;
+    std::uint32_t npages = 0;
+    if (!take(buf, off, s.writer) || !take(buf, off, npages)) return false;
+    s.pages.resize(npages);
+    for (std::uint32_t j = 0; j < npages; ++j) {
+      if (!take(buf, off, s.pages[j])) return false;
+    }
+    out.notices.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace multiedge::dsm

@@ -1,0 +1,35 @@
+#include "net/channel.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace multiedge::net {
+
+void Channel::send(FramePtr frame) {
+  assert(!busy() && "channel is half-duplex per direction: one frame at a time");
+  assert(sink_ != nullptr && "channel has no receiver attached");
+
+  const sim::Time ser = sim::serialization_time(frame->wire_bytes(), gbps_);
+  tx_free_at_ = sim_.now() + ser;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame->wire_bytes();
+
+  if (on_tx_done_) sim_.at(tx_free_at_, on_tx_done_);
+
+  const bool drop =
+      faults_.in_outage(sim_.now()) || rng_.chance(faults_.drop_prob);
+  if (drop) {
+    ++stats_.frames_dropped;
+    return;
+  }
+  if (rng_.chance(faults_.corrupt_prob)) {
+    ++stats_.frames_corrupted;
+    auto damaged = std::make_shared<Frame>(*frame);
+    damaged->fcs_bad = true;
+    frame = damaged;
+  }
+  sim_.at(tx_free_at_ + prop_delay_,
+          [this, f = std::move(frame)]() mutable { sink_->deliver(std::move(f)); });
+}
+
+}  // namespace multiedge::net

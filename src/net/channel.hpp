@@ -1,0 +1,80 @@
+// Unidirectional physical channel: serialization at link rate, propagation
+// delay, and fault injection (drops, FCS corruption, scheduled outages).
+//
+// A full-duplex link is a pair of channels. The channel transmits one frame
+// at a time; queueing lives in the attached device (NIC tx ring, switch
+// output queue), which feeds the next frame from its on_tx_done callback —
+// exactly how real MACs interact with their DMA engines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace multiedge::net {
+
+/// Stochastic + scheduled fault model for one channel direction.
+struct FaultModel {
+  double drop_prob = 0.0;     // frame silently lost
+  double corrupt_prob = 0.0;  // frame delivered with fcs_bad set
+
+  /// Half-open [start, end) windows during which every frame is lost
+  /// (transient link failures, §2.4 of the paper).
+  std::vector<std::pair<sim::Time, sim::Time>> outages;
+
+  bool in_outage(sim::Time t) const {
+    for (const auto& [s, e] : outages) {
+      if (t >= s && t < e) return true;
+    }
+    return false;
+  }
+};
+
+class Channel {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;  // wire bytes
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t frames_corrupted = 0;
+  };
+
+  Channel(sim::Simulator& sim, double gbps, sim::Time propagation_delay,
+          std::uint64_t seed = 1)
+      : sim_(sim), gbps_(gbps), prop_delay_(propagation_delay), rng_(seed) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void set_sink(FrameSink* sink) { sink_ = sink; }
+  void set_on_tx_done(std::function<void()> cb) { on_tx_done_ = std::move(cb); }
+  FaultModel& faults() { return faults_; }
+
+  /// Begin transmitting `frame`. Precondition: !busy(). The frame occupies
+  /// the wire for its serialization time; on_tx_done fires when the sender
+  /// side finishes (so the device can feed the next frame), and the sink
+  /// receives the frame a propagation delay later (unless dropped).
+  void send(FramePtr frame);
+
+  bool busy() const { return sim_.now() < tx_free_at_; }
+  double gbps() const { return gbps_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  double gbps_;
+  sim::Time prop_delay_;
+  sim::Rng rng_;
+  FaultModel faults_;
+  FrameSink* sink_ = nullptr;
+  std::function<void()> on_tx_done_;
+  sim::Time tx_free_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace multiedge::net

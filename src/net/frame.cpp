@@ -1,0 +1,14 @@
+#include "net/frame.hpp"
+
+#include <cstdio>
+
+namespace multiedge::net {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+}  // namespace multiedge::net

@@ -1,0 +1,111 @@
+#include "net/nic.hpp"
+
+#include <cassert>
+
+namespace multiedge::net {
+
+void Nic::attach_tx(Channel* out) {
+  tx_channel_ = out;
+  tx_channel_->set_on_tx_done([this] { on_tx_serialized(); });
+}
+
+bool Nic::tx(FramePtr frame) {
+  assert(tx_channel_ != nullptr && "NIC has no egress channel");
+  if (tx_in_ring_ >= cfg_.tx_ring_slots) return false;
+  ++tx_in_ring_;
+  tx_ring_.push_back(std::move(frame));
+  start_next_tx();
+  return true;
+}
+
+void Nic::start_next_tx() {
+  if (tx_busy_ || tx_ring_.empty()) return;
+  tx_busy_ = true;
+  FramePtr frame = std::move(tx_ring_.front());
+  tx_ring_.pop_front();
+  ++stats_.tx_frames;
+  tx_channel_->send(std::move(frame));
+}
+
+void Nic::on_tx_serialized() {
+  tx_busy_ = false;
+  assert(tx_in_ring_ > 0);
+  --tx_in_ring_;
+  ++stats_.tx_completions;
+  ++unreaped_tx_completions_;
+  // Send-completion interrupt: maskable on most hardware, forced on the 10G
+  // NIC (the paper's quirk). Either way, moderation applies.
+  note_irq_event(cfg_.tx_irq_maskable);
+  start_next_tx();
+}
+
+FramePtr Nic::rx_pop() {
+  if (rx_ring_.empty()) return nullptr;
+  FramePtr f = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  return f;
+}
+
+std::uint64_t Nic::take_tx_completions() {
+  const std::uint64_t n = unreaped_tx_completions_;
+  unreaped_tx_completions_ = 0;
+  return n;
+}
+
+void Nic::deliver(FramePtr frame) {
+  if (frame->dst != mac_) {
+    // MAC filtering: frames flooded by the switch toward other stations are
+    // dropped in hardware (the NIC is not promiscuous).
+    ++stats_.rx_filtered;
+    return;
+  }
+  if (frame->fcs_bad) {
+    // Damaged frames fail the MAC FCS check and never reach the host; the
+    // protocol observes them as losses (and NACKs the gap).
+    ++stats_.rx_fcs_drops;
+    return;
+  }
+  sim_.in(cfg_.rx_dma_latency, [this, f = std::move(frame)]() mutable {
+    if (rx_ring_.size() >= cfg_.rx_ring_slots) {
+      ++stats_.rx_ring_drops;
+      return;
+    }
+    rx_ring_.push_back(std::move(f));
+    ++stats_.rx_frames;
+    note_irq_event(/*maskable=*/true);
+  });
+}
+
+void Nic::set_irq_enabled(bool enabled) {
+  const bool was = irq_enabled_;
+  irq_enabled_ = enabled;
+  // Level-triggered semantics: unmasking with work pending (re)starts the
+  // moderation machinery so no wakeup is ever lost.
+  if (enabled && !was && events_pending()) note_irq_event(true);
+}
+
+void Nic::note_irq_event(bool maskable) {
+  if (!maskable) unmaskable_waiting_ = true;
+  if (!irq_enabled_ && !unmaskable_waiting_) return;
+  ++coalesce_count_;
+  if (cfg_.irq_coalesce_frames <= 1 || cfg_.irq_coalesce_delay == 0 ||
+      coalesce_count_ >= cfg_.irq_coalesce_frames) {
+    fire_irq();
+  } else {
+    coalesce_timer_.schedule_if_idle(cfg_.irq_coalesce_delay);
+  }
+}
+
+void Nic::on_coalesce_timeout() {
+  if (coalesce_count_ > 0 && (irq_enabled_ || unmaskable_waiting_)) fire_irq();
+}
+
+void Nic::fire_irq() {
+  coalesce_count_ = 0;
+  unmaskable_waiting_ = false;
+  coalesce_timer_.cancel();
+  ++stats_.interrupts;
+  if (irq_handler_) irq_handler_();
+}
+
+}  // namespace multiedge::net

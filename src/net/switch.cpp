@@ -1,0 +1,60 @@
+#include "net/switch.hpp"
+
+#include <cassert>
+
+namespace multiedge::net {
+
+FrameSink* Switch::add_port(Channel* out) {
+  auto port = std::make_unique<Port>(this, ports_.size(), out);
+  Port* raw = port.get();
+  out->set_on_tx_done([this, idx = raw->idx] { try_transmit(idx); });
+  ports_.push_back(std::move(port));
+  return raw;
+}
+
+void Switch::ingress(std::size_t port, FramePtr frame) {
+  if (frame->fcs_bad) {
+    // Store-and-forward switches verify the FCS and discard bad frames.
+    ++stats_.fcs_drops;
+    return;
+  }
+  mac_table_[frame->src] = port;
+
+  auto it = mac_table_.find(frame->dst);
+  if (it != mac_table_.end()) {
+    if (it->second == port) return;  // destination is behind the ingress port
+    ++stats_.forwarded;
+    sim_.in(cfg_.forwarding_latency,
+            [this, out = it->second, f = std::move(frame)]() mutable {
+              enqueue(out, std::move(f));
+            });
+    return;
+  }
+  // Unknown destination: flood everywhere except the ingress port.
+  ++stats_.flooded;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p == port) continue;
+    sim_.in(cfg_.forwarding_latency,
+            [this, p, f = frame]() mutable { enqueue(p, std::move(f)); });
+  }
+}
+
+void Switch::enqueue(std::size_t port, FramePtr frame) {
+  Port& p = *ports_[port];
+  if (p.queue.size() >= cfg_.out_queue_frames) {
+    ++stats_.tail_drops;
+    return;
+  }
+  p.queue.push_back(std::move(frame));
+  try_transmit(port);
+}
+
+void Switch::try_transmit(std::size_t port) {
+  Port& p = *ports_[port];
+  if (p.queue.empty() || p.out->busy()) return;
+  FramePtr frame = std::move(p.queue.front());
+  p.queue.pop_front();
+  p.out->send(std::move(frame));
+}
+
+}  // namespace multiedge::net

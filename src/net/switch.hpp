@@ -1,0 +1,80 @@
+// Store-and-forward Ethernet switch with MAC learning and finite output
+// queues (tail drop) — the "simple forwarding functions" an edge-based
+// network asks of its core (§1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace multiedge::net {
+
+struct SwitchConfig {
+  /// Store-and-forward decision latency (lookup + crossbar), applied between
+  /// full frame reception and enqueue on the output port.
+  sim::Time forwarding_latency = sim::us(2);
+  /// Output queue capacity in frames; overflow is tail-dropped, which is the
+  /// congestion-loss mechanism the protocol's NACK path recovers from.
+  std::size_t out_queue_frames = 256;
+};
+
+class Switch {
+ public:
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t flooded = 0;
+    std::uint64_t tail_drops = 0;
+    std::uint64_t fcs_drops = 0;
+  };
+
+  Switch(sim::Simulator& sim, SwitchConfig config, std::string name)
+      : sim_(sim), cfg_(config), name_(std::move(name)) {}
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Add a port transmitting on `out`. Returns the sink the peer's channel
+  /// should deliver into.
+  FrameSink* add_port(Channel* out);
+
+  std::size_t num_ports() const { return ports_.size(); }
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  /// Depth of an output queue (diagnostics / tests).
+  std::size_t queue_depth(std::size_t port) const {
+    return ports_[port]->queue.size();
+  }
+
+ private:
+  struct Port : FrameSink {
+    Port(Switch* owner, std::size_t index, Channel* out_channel)
+        : sw(owner), idx(index), out(out_channel) {}
+    void deliver(FramePtr frame) override { sw->ingress(idx, std::move(frame)); }
+
+    Switch* sw;
+    std::size_t idx;
+    Channel* out;
+    std::deque<FramePtr> queue;
+  };
+
+  void ingress(std::size_t port, FramePtr frame);
+  void enqueue(std::size_t port, FramePtr frame);
+  void try_transmit(std::size_t port);
+
+  sim::Simulator& sim_;
+  SwitchConfig cfg_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::map<MacAddr, std::size_t> mac_table_;
+  Stats stats_;
+};
+
+}  // namespace multiedge::net

@@ -1,0 +1,89 @@
+// Cluster topology builder.
+//
+// Reproduces the paper's physical setups: N nodes, each with R NICs ("rails");
+// rail r of every node connects to switch r. The evaluated configurations map
+// to:
+//   1L-1G  : rails=1, 1.0  Gbps, 16 nodes
+//   2L-1G  : rails=2, 1.0  Gbps, 16 nodes (strict in-order delivery)
+//   2Lu-1G : rails=2, 1.0  Gbps, 16 nodes (out-of-order delivery allowed)
+//   1L-10G : rails=1, 10.0 Gbps,  4 nodes (Myricom NIC quirks)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/nic.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace multiedge::net {
+
+struct LinkSpec {
+  double gbps = 1.0;
+  sim::Time propagation_delay = sim::ns(500);  // cable + PHY
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+};
+
+struct TopologyConfig {
+  int num_nodes = 2;
+  int rails = 1;
+  LinkSpec link;
+  NicConfig nic;          // gbps is overridden by link.gbps
+  SwitchConfig switch_cfg;
+  std::uint64_t seed = 42;
+
+  /// Multi-switch core (the paper's §6 future work: "communication paths
+  /// that consist of multiple switches"). 0 or 1 = one flat switch per
+  /// rail. With G > 1, each rail gets G edge switches (nodes round-robin
+  /// across groups) connected through one core switch per rail.
+  int edge_groups = 1;
+  /// Bandwidth of each edge-to-core uplink. Equal to the node links by
+  /// default, i.e. an oversubscribed core.
+  double core_uplink_gbps = 0.0;  // 0 = same as link.gbps
+};
+
+/// NIC config presets matching the paper's hardware.
+NicConfig broadcom_tg3_config();    // 1-GBit/s Broadcom Tigon 3
+NicConfig intel_e1000_config();     // 1-GBit/s Intel PRO/1000
+NicConfig myricom_10g_config();     // 10-GBit/s Myricom (tx irq unmaskable)
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, TopologyConfig config);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int num_nodes() const { return cfg_.num_nodes; }
+  int rails() const { return cfg_.rails; }
+  const TopologyConfig& config() const { return cfg_; }
+
+  Nic& nic(int node, int rail) { return *nics_[node][rail]; }
+  /// The switch node `0`'s group connects to on `rail` (the only switch in
+  /// flat topologies).
+  Switch& rail_switch(int rail) { return *switches_[rail * groups_per_rail_]; }
+  Switch& edge_switch(int rail, int group) {
+    return *switches_[rail * groups_per_rail_ + group];
+  }
+  Switch& core_switch(int rail) { return *cores_[rail]; }
+  bool has_core() const { return !cores_.empty(); }
+
+  /// Channels for fault injection: node -> switch and switch -> node.
+  Channel& uplink(int node, int rail) { return *uplinks_[node][rail]; }
+  Channel& downlink(int node, int rail) { return *downlinks_[node][rail]; }
+
+ private:
+  sim::Simulator& sim_;
+  TopologyConfig cfg_;
+  int groups_per_rail_ = 1;
+  std::vector<std::unique_ptr<Switch>> switches_;  // edge switches, rail-major
+  std::vector<std::unique_ptr<Switch>> cores_;     // one per rail (if any)
+  std::vector<std::unique_ptr<Channel>> trunks_;   // edge<->core channels
+  std::vector<std::vector<std::unique_ptr<Nic>>> nics_;          // [node][rail]
+  std::vector<std::vector<std::unique_ptr<Channel>>> uplinks_;   // [node][rail]
+  std::vector<std::vector<std::unique_ptr<Channel>>> downlinks_;
+};
+
+}  // namespace multiedge::net

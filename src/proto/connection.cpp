@@ -1,0 +1,626 @@
+#include "proto/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/engine.hpp"
+
+namespace multiedge::proto {
+
+Connection::Connection(Engine& engine, std::uint32_t local_id, int peer_node,
+                       std::vector<Link> links, bool initiator)
+    : engine_(engine),
+      local_id_(local_id),
+      peer_node_(peer_node),
+      links_(std::move(links)),
+      initiator_(initiator),
+      retransmit_timer_(engine.sim(),
+                        [this] { on_retransmit_timeout(engine_.proto_cpu()); }),
+      ack_timer_(engine.sim(), [this] { on_ack_timeout(engine_.proto_cpu()); }),
+      nack_timer_(engine.sim(), [this] { on_nack_timeout(engine_.proto_cpu()); }) {
+  assert(!links_.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void Connection::fragment_op(FrameKind kind, OpType op_type, SendOp& op,
+                             std::uint64_t ffence_dep, std::uint64_t remote_va,
+                             std::uint64_t aux_va,
+                             std::span<const std::byte> data,
+                             std::uint32_t op_size) {
+  WireHeader h;
+  h.kind = kind;
+  h.op_type = op_type;
+  h.op_flags = op.flags;
+  h.conn_id = remote_id_;
+  h.src_node = static_cast<std::uint16_t>(engine_.node_id());
+  h.op_id = op.op_id;
+  h.ffence_dep = ffence_dep;
+  h.remote_va = remote_va;
+  h.aux_va = aux_va;
+  h.op_size = op_size;
+
+  op.first_seq = next_seq_;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(WireHeader::kMaxData, data.size() - off);
+    h.seq = next_seq_++;
+    h.frag_offset = static_cast<std::uint32_t>(off);
+    auto frame = std::make_shared<net::Frame>();
+    frame->payload = encode_frame_payload(h, {}, data.subspan(off, n));
+    pending_.push_back(OutFrame{std::move(frame), h.seq});
+    off += n;
+  } while (off < data.size());
+  op.last_seq = next_seq_ - 1;
+}
+
+SendOpPtr Connection::submit_write(std::uint64_t remote_va,
+                                   std::span<const std::byte> data,
+                                   std::uint16_t flags, sim::Cpu& cpu) {
+  assert(!data.empty() && "zero-length remote writes are not defined");
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kWrite;
+  op->flags = flags;
+  op->size = static_cast<std::uint32_t>(data.size());
+
+  const std::uint64_t dep = ffence_latest_;
+  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
+
+  fragment_op(FrameKind::kData, OpType::kWrite, *op, dep, remote_va, 0, data,
+              op->size);
+  write_ops_.push_back(op);
+  counters_.add("ops_submitted");
+  counters_.add("bytes_submitted", data.size());
+  try_transmit(cpu);
+  return op;
+}
+
+SendOpPtr Connection::submit_scatter_write(std::uint64_t remote_base_va,
+                                           std::span<const std::byte> encoded,
+                                           std::uint16_t flags, sim::Cpu& cpu) {
+  assert(!encoded.empty());
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kWrite;
+  op->flags = flags;
+  op->size = static_cast<std::uint32_t>(encoded.size());
+
+  const std::uint64_t dep = ffence_latest_;
+  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
+
+  fragment_op(FrameKind::kData, OpType::kScatterWrite, *op, dep, remote_base_va,
+              0, encoded, op->size);
+  write_ops_.push_back(op);
+  counters_.add("ops_submitted");
+  counters_.add("scatter_ops_submitted");
+  counters_.add("bytes_submitted", encoded.size());
+  try_transmit(cpu);
+  return op;
+}
+
+SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_va,
+                                  std::uint32_t size, std::uint16_t flags,
+                                  sim::Cpu& cpu) {
+  assert(size > 0);
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kRead;
+  op->flags = flags;
+  op->size = size;
+
+  const std::uint64_t dep = ffence_latest_;
+  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
+
+  // A read request is a single sequenced frame with no payload: remote_va is
+  // the source at the target, aux_va the destination at the initiator.
+  fragment_op(FrameKind::kReadReq, OpType::kWrite, *op, dep, remote_va,
+              local_va, {}, size);
+  pending_reads_[op->op_id] = op;
+  counters_.add("reads_submitted");
+  try_transmit(cpu);
+  return op;
+}
+
+void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
+                                      std::uint32_t size, std::uint64_t req_op_id,
+                                      sim::Cpu& cpu) {
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kWrite;
+  op->flags = 0;
+  op->size = size;
+  // Read responses carry no fences of their own; the request's fences were
+  // honoured when the response was generated.
+  fragment_op(FrameKind::kData, OpType::kReadResp, *op, kNoFenceDep, dst_va,
+              req_op_id, engine_.memory().view(src_va, size), size);
+  write_ops_.push_back(op);
+  counters_.add("read_responses");
+  counters_.add("bytes_submitted", size);
+  // Serving the read costs a kernel-side copy of the data into frames.
+  cpu.charge(engine_.costs().copy_cost_kernel(size));
+  try_transmit(cpu);
+}
+
+std::size_t Connection::pick_link() {
+  const auto& cfg = engine_.config();
+  switch (cfg.striping) {
+    case StripingPolicy::kRoundRobin:
+      return rr_next_link_;
+    case StripingPolicy::kRandom:
+      return static_cast<std::size_t>(engine_.rng().next_below(links_.size()));
+    case StripingPolicy::kShortestQueue: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < links_.size(); ++i) {
+        if (links_[i].drv->tx_space() > links_[best].drv->tx_space()) best = i;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+bool Connection::transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
+                                       sim::Cpu& cpu) {
+  const std::size_t start = pick_link();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const std::size_t li = (start + i) % links_.size();
+    Link& link = links_[li];
+    frame->src = link.drv->mac();
+    frame->dst = link.peer_mac;
+    patch_ack(frame->payload, rcv_nxt_);
+    if (link.drv->transmit(frame)) {
+      rr_next_link_ = (li + 1) % links_.size();
+      cpu.charge(engine_.costs().tx_frame_cost);
+      counters_.add("data_frames_sent");
+      counters_.add("data_bytes_sent", frame->payload.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+void Connection::try_transmit(sim::Cpu& cpu) {
+  if (state_ != ConnState::kEstablished) {
+    if (has_backlog()) engine_.note_backlog(this);
+    return;
+  }
+  bool sent_any = false;
+
+  // Retransmissions first: they are already inside the window and unblock
+  // the receiver. Each retransmission goes out as a fresh copy so in-flight
+  // frames from earlier transmissions are never mutated.
+  while (!retx_queue_.empty()) {
+    OutFrame& of = retx_queue_.front();
+    if (of.seq < snd_una_) {
+      // Acknowledged while queued: obsolete.
+      retx_queued_seqs_.erase(of.seq);
+      retx_queue_.pop_front();
+      continue;
+    }
+    auto clone = std::make_shared<net::Frame>(*of.frame);
+    if (!transmit_on_some_link(clone, cpu)) break;
+    counters_.add("retransmissions");
+    retx_queued_seqs_.erase(of.seq);
+    retx_queue_.pop_front();
+    sent_any = true;
+  }
+
+  // New frames, subject to the sliding window.
+  while (retx_queue_.empty() && !pending_.empty()) {
+    OutFrame& of = pending_.front();
+    if (of.seq >= snd_una_ + engine_.config().window_frames) {
+      counters_.add("window_stalls");
+      break;
+    }
+    if (!transmit_on_some_link(of.frame, cpu)) break;
+    unacked_.emplace(of.seq, std::move(of.frame));
+    pending_.pop_front();
+    sent_any = true;
+  }
+
+  if (sent_any) {
+    // Outgoing data piggy-backed our cumulative ack: delayed-ack state resets.
+    rx_since_ack_ = 0;
+    ack_timer_.cancel();
+    retransmit_timer_.schedule_if_idle(engine_.config().retransmit_timeout);
+  }
+  if (has_backlog()) engine_.note_backlog(this);
+}
+
+void Connection::process_ack(std::uint64_t ack, sim::Cpu& cpu) {
+  if (ack <= snd_una_) return;
+  unacked_.erase(unacked_.begin(), unacked_.lower_bound(ack));
+  snd_una_ = ack;  // obsolete retx entries are skipped in try_transmit()
+  complete_acked_ops(cpu);
+  if (unacked_.empty() && retx_queue_.empty()) {
+    retransmit_timer_.cancel();
+  } else {
+    retransmit_timer_.schedule(engine_.config().retransmit_timeout);
+  }
+  try_transmit(cpu);
+}
+
+void Connection::complete_acked_ops(sim::Cpu& cpu) {
+  (void)cpu;
+  while (!write_ops_.empty() && write_ops_.front()->last_seq < snd_una_) {
+    SendOpPtr op = std::move(write_ops_.front());
+    write_ops_.pop_front();
+    op->complete = true;
+    op->progress_bytes = op->size;
+    counters_.add("ops_completed");
+    op->waiters.notify_all();
+    if (op->on_complete) op->on_complete();
+  }
+  // The (new) front op may be partially acknowledged: update its progress.
+  if (!write_ops_.empty()) {
+    SendOp& front = *write_ops_.front();
+    if (snd_una_ > front.first_seq) {
+      const std::uint64_t frames_acked = snd_una_ - front.first_seq;
+      front.progress_bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          front.size, frames_acked * WireHeader::kMaxData));
+    }
+  }
+}
+
+void Connection::handle_ack_frame(const DecodedFrame& df, sim::Cpu& cpu) {
+  counters_.add("ack_frames_rcvd");
+  process_ack(df.hdr.ack, cpu);
+  if (!df.nacks.empty()) {
+    counters_.add("nacks_rcvd", df.nacks.size());
+    for (std::uint64_t seq : df.nacks) {
+      auto it = unacked_.find(seq);
+      if (it == unacked_.end()) continue;  // already acked or retransmitted+acked
+      if (retx_queued_seqs_.insert(seq).second) {
+        retx_queue_.push_back(OutFrame{it->second, seq});
+      }
+    }
+    try_transmit(cpu);
+  }
+}
+
+void Connection::on_retransmit_timeout(sim::Cpu& cpu) {
+  if (unacked_.empty()) return;
+  // §2.4: retransmit the *last transmitted* frame. The duplicate prods the
+  // receiver into re-acking (and NACKing every gap it still sees).
+  const auto last = std::prev(unacked_.end());
+  counters_.add("rto_events");
+  if (retx_queued_seqs_.insert(last->first).second) {
+    retx_queue_.push_back(OutFrame{last->second, last->first});
+  }
+  retransmit_timer_.schedule(engine_.config().retransmit_timeout);
+  try_transmit(cpu);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
+                                   sim::Cpu& cpu) {
+  const WireHeader& h = df.hdr;
+  counters_.add("data_frames_rcvd");
+  counters_.add("data_bytes_rcvd", frame->payload.size());
+
+  const std::uint64_t seq = h.seq;
+  const bool in_order_mode = engine_.config().in_order_delivery;
+
+  // Duplicate detection.
+  bool duplicate = seq < rcv_nxt_;
+  if (!duplicate && seq > rcv_nxt_) {
+    duplicate = in_order_mode ? ooo_buffer_.count(seq) > 0
+                              : rcvd_above_.count(seq) > 0;
+  }
+  if (duplicate) {
+    on_duplicate(seq, cpu);
+    return;
+  }
+
+  BufferedFrag frag{std::move(frame), h, df.data};
+
+  if (seq > rcv_nxt_) {
+    counters_.add("ooo_frames_rcvd");
+    // Record any newly-opened gaps below this frame.
+    std::uint64_t scan_from = rcv_nxt_;
+    if (!gaps_.empty()) scan_from = std::max(scan_from, gaps_.rbegin()->first + 1);
+    if (in_order_mode) {
+      if (!ooo_buffer_.empty())
+        scan_from = std::max(scan_from, ooo_buffer_.rbegin()->first + 1);
+    } else {
+      if (!rcvd_above_.empty())
+        scan_from = std::max(scan_from, *rcvd_above_.rbegin() + 1);
+    }
+    for (std::uint64_t m = scan_from; m < seq; ++m) {
+      gaps_.emplace(m, Gap{engine_.sim().now(), 0, false, 0});
+    }
+  }
+  gaps_.erase(seq);
+
+  if (in_order_mode) {
+    if (seq == rcv_nxt_) {
+      ++rcv_nxt_;
+      apply_or_block(std::move(frag), cpu);
+      // Drain now-contiguous buffered frames.
+      for (auto it = ooo_buffer_.find(rcv_nxt_); it != ooo_buffer_.end();
+           it = ooo_buffer_.find(rcv_nxt_)) {
+        BufferedFrag next = std::move(it->second);
+        ooo_buffer_.erase(it);
+        ++rcv_nxt_;
+        apply_or_block(std::move(next), cpu);
+      }
+    } else {
+      counters_.add("frames_buffered");
+      ooo_buffer_.emplace(seq, std::move(frag));
+    }
+  } else {
+    if (seq == rcv_nxt_) {
+      ++rcv_nxt_;
+      while (rcvd_above_.erase(rcv_nxt_)) ++rcv_nxt_;
+    } else {
+      rcvd_above_.insert(seq);
+    }
+    // Out-of-order mode applies immediately (§2.5), fences permitting.
+    apply_or_block(std::move(frag), cpu);
+  }
+
+  after_new_data_frame(cpu);
+}
+
+void Connection::after_new_data_frame(sim::Cpu& cpu) {
+  note_gap_progress();
+  const auto& cfg = engine_.config();
+
+  // NACK any gaps that crossed their thresholds.
+  bool nacks_due = false;
+  for (const auto& [seq, gap] : gaps_) {
+    if (!gap.nacked && (gap.frames_since >= cfg.nack_frame_threshold ||
+                        engine_.sim().now() - gap.first_seen >= cfg.nack_timeout)) {
+      nacks_due = true;
+      break;
+    }
+  }
+  if (!gaps_.empty()) nack_timer_.schedule_if_idle(cfg.nack_timeout);
+
+  ++rx_since_ack_;
+  if (nacks_due || rx_since_ack_ >= cfg.ack_threshold) {
+    send_explicit_ack(cpu);
+  } else {
+    ack_timer_.schedule_if_idle(cfg.ack_timeout);
+  }
+}
+
+void Connection::note_gap_progress() {
+  for (auto& [seq, gap] : gaps_) ++gap.frames_since;
+}
+
+void Connection::on_duplicate(std::uint64_t seq, sim::Cpu& cpu) {
+  (void)seq;
+  counters_.add("dup_frames_rcvd");
+  // A duplicate means the sender is retransmitting: our ACKs (or its data)
+  // were lost. Re-ack immediately. Gap reporting stays on its normal
+  // schedule — forcing NACKs here would re-request frames that are merely
+  // still in flight and feed a retransmission storm.
+  send_explicit_ack(cpu, /*force_nacks=*/false);
+}
+
+std::vector<std::uint64_t> Connection::collect_due_nacks(bool force_all) {
+  const auto& cfg = engine_.config();
+  const sim::Time now = engine_.sim().now();
+  std::vector<std::uint64_t> due;
+  for (auto& [seq, gap] : gaps_) {
+    if (due.size() >= WireHeader::kMaxNacks) break;
+    const bool fresh_due = !gap.nacked &&
+                           (gap.frames_since >= cfg.nack_frame_threshold ||
+                            now - gap.first_seen >= cfg.nack_timeout);
+    const bool renack_due = gap.nacked && now - gap.nacked_at >= cfg.renack_timeout;
+    if (force_all || fresh_due || renack_due) {
+      due.push_back(seq);
+      gap.nacked = true;
+      gap.nacked_at = now;
+    }
+  }
+  return due;
+}
+
+void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
+  if (state_ != ConnState::kEstablished) return;
+  const std::vector<std::uint64_t> nacks = collect_due_nacks(force_nacks);
+
+  WireHeader h;
+  h.kind = FrameKind::kAck;
+  h.conn_id = remote_id_;
+  h.src_node = static_cast<std::uint16_t>(engine_.node_id());
+  h.ack = rcv_nxt_;
+
+  auto frame = std::make_shared<net::Frame>();
+  frame->payload = encode_frame_payload(
+      h, std::span<const std::uint64_t>(nacks.data(), nacks.size()), {});
+  cpu.charge(engine_.costs().ack_build_cost);
+
+  const std::size_t start = pick_link();
+  bool sent = false;
+  for (std::size_t i = 0; i < links_.size() && !sent; ++i) {
+    const std::size_t li = (start + i) % links_.size();
+    frame->src = links_[li].drv->mac();
+    frame->dst = links_[li].peer_mac;
+    if (links_[li].drv->transmit(frame)) {
+      rr_next_link_ = (li + 1) % links_.size();
+      cpu.charge(engine_.costs().tx_frame_cost);
+      sent = true;
+    }
+  }
+  if (!sent) {
+    // ACKs are unsequenced and unreliable; timers will recover.
+    counters_.add("ack_send_failed");
+    return;
+  }
+  counters_.add("ack_frames_sent");
+  if (!nacks.empty()) counters_.add("nacks_sent", nacks.size());
+  rx_since_ack_ = 0;
+  ack_on_idle_ = false;
+  ack_timer_.cancel();
+}
+
+void Connection::solicit_ack_at_idle() {
+  if (!wants_idle_ack()) return;
+  const sim::Time delay = engine_.config().solicited_ack_delay;
+  if (!ack_timer_.pending() ||
+      ack_timer_.deadline() > engine_.sim().now() + delay) {
+    ack_timer_.schedule(delay);
+  }
+  ack_on_idle_ = false;  // re-armed by the next completion
+}
+
+void Connection::on_ack_timeout(sim::Cpu& cpu) {
+  if (rx_since_ack_ > 0 || !gaps_.empty()) send_explicit_ack(cpu);
+}
+
+void Connection::on_nack_timeout(sim::Cpu& cpu) {
+  if (!gaps_.empty()) {
+    send_explicit_ack(cpu);
+    nack_timer_.schedule(engine_.config().nack_timeout);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fence/reorder engine
+// ---------------------------------------------------------------------------
+
+Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr) {
+  auto it = recv_ops_.find(hdr.op_id);
+  if (it != recv_ops_.end()) return it->second;
+  RecvOp op;
+  op.op_id = hdr.op_id;
+  op.flags = hdr.op_flags;
+  op.ffence_dep = hdr.ffence_dep;
+  op.size = hdr.op_size;
+  if (hdr.kind == FrameKind::kReadReq) {
+    op.is_read_req = true;
+    op.read_src_va = hdr.remote_va;
+    op.read_dst_va = hdr.aux_va;
+    op.read_req_op = hdr.op_id;
+  } else {
+    op.write_va = hdr.remote_va;
+    if (hdr.op_type == OpType::kReadResp) {
+      op.is_read_resp = true;
+      op.read_req_op = hdr.aux_va;  // initiator op id echoed by the target
+    } else if (hdr.op_type == OpType::kScatterWrite) {
+      op.is_scatter = true;
+      op.assembly.resize(hdr.op_size);
+    }
+  }
+  return recv_ops_.emplace(hdr.op_id, std::move(op)).first->second;
+}
+
+bool Connection::recv_op_completed(std::uint64_t op_id) const {
+  return op_id < recv_completed_below_ || recv_completed_above_.count(op_id) > 0;
+}
+
+bool Connection::fences_satisfied(const RecvOp& op) const {
+  if ((op.flags & kOpFlagBackwardFence) && recv_completed_below_ < op.op_id) {
+    return false;
+  }
+  if (op.ffence_dep != kNoFenceDep && !recv_op_completed(op.ffence_dep)) {
+    return false;
+  }
+  return true;
+}
+
+void Connection::apply_or_block(BufferedFrag frag, sim::Cpu& cpu) {
+  RecvOp& op = recv_op_for(frag.hdr);
+  if (fences_satisfied(op)) {
+    apply_frag(op, frag, cpu);
+    maybe_complete(op, cpu);
+  } else {
+    counters_.add("fence_blocked_frames");
+    op.blocked.push_back(std::move(frag));
+  }
+}
+
+void Connection::apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu) {
+  if (op.is_read_req) return;  // served in maybe_complete
+  (void)cpu;
+  if (op.is_scatter) {
+    // Reassemble the scatter payload; segments apply at completion.
+    std::copy(frag.data.begin(), frag.data.end(),
+              op.assembly.begin() + frag.hdr.frag_offset);
+  } else {
+    engine_.memory().write(frag.hdr.remote_va + frag.hdr.frag_offset, frag.data);
+  }
+  op.applied += static_cast<std::uint32_t>(frag.data.size());
+}
+
+void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
+  const bool done = op.is_read_req || (op.size > 0 && op.applied >= op.size);
+  if (!done) return;
+
+  const std::uint64_t op_id = op.op_id;
+  if (op.flags & kOpFlagSolicit) {
+    ack_on_idle_ = true;  // ack the completed op at the next receive lull
+  }
+  if (op.is_scatter) {
+    std::vector<std::pair<std::uint32_t, std::span<const std::byte>>> segs;
+    if (decode_scatter_payload(op.assembly, segs)) {
+      for (const auto& [off, data] : segs) {
+        engine_.memory().write(op.write_va + off, data);
+        // Applying the gathered segments is an extra kernel-side copy.
+        cpu.charge(engine_.costs().copy_cost_kernel(data.size()));
+      }
+      counters_.add("scatter_ops_applied");
+    } else {
+      counters_.add("scatter_decode_failed");
+    }
+  }
+  if (op.is_read_req) {
+    // "Performing" a remote read: generate the response data stream.
+    submit_read_response(op.read_dst_va, op.read_src_va, op.size,
+                         op.read_req_op, cpu);
+  } else if (op.is_read_resp) {
+    // Response fully applied at the initiator: finish the pending read.
+    auto it = pending_reads_.find(op.read_req_op);
+    if (it != pending_reads_.end()) {
+      SendOpPtr rop = std::move(it->second);
+      pending_reads_.erase(it);
+      rop->complete = true;
+      counters_.add("reads_completed");
+      rop->waiters.notify_all();
+      if (rop->on_complete) rop->on_complete();
+    }
+  } else if (op.flags & kOpFlagNotify) {
+    engine_.deliver_notification(
+        Notification{peer_node_, op_id, op.write_va, op.size}, cpu);
+  }
+
+  // Advance the completion frontier.
+  if (op_id == recv_completed_below_) {
+    ++recv_completed_below_;
+    while (recv_completed_above_.erase(recv_completed_below_)) {
+      ++recv_completed_below_;
+    }
+  } else {
+    recv_completed_above_.insert(op_id);
+  }
+  recv_ops_.erase(op_id);
+  unblock_ops(cpu);
+}
+
+void Connection::unblock_ops(sim::Cpu& cpu) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, op] : recv_ops_) {
+      if (!op.blocked.empty() && fences_satisfied(op)) {
+        std::vector<BufferedFrag> frags = std::move(op.blocked);
+        op.blocked.clear();
+        for (const auto& fr : frags) apply_frag(op, fr, cpu);
+        maybe_complete(op, cpu);  // may erase `op` and recurse
+        progress = true;
+        break;  // map mutated: restart the scan
+      }
+    }
+  }
+}
+
+}  // namespace multiedge::proto

@@ -1,0 +1,242 @@
+// Protocol-level connection endpoint: one end of a MultiEdge connection.
+//
+// Owns both directions' state for this end:
+//  * send side — operation fragmentation, fixed-size sliding window over
+//    frame sequence numbers, retained frames for retransmission, the coarse
+//    retransmission timer, and the multi-link striping scheduler (§2.4-2.5);
+//  * receive side — cumulative-ACK tracking, duplicate and gap detection
+//    feeding delayed/explicit ACKs and NACKs, and the reorder/fence engine
+//    that applies fragments to user memory either strictly in frame order
+//    (2L mode) or as they arrive subject to fence constraints (2Lu mode).
+//
+// Cost accounting: methods that consume CPU take the Cpu to charge, because
+// the same code runs in syscall context (application CPU) and in the
+// protocol-thread context (protocol CPU).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "driver/net_driver.hpp"
+#include "proto/config.hpp"
+#include "proto/types.hpp"
+#include "proto/wire.hpp"
+#include "sim/cpu.hpp"
+#include "sim/random.hpp"
+#include "sim/timer.hpp"
+#include "stats/counters.hpp"
+
+namespace multiedge::proto {
+
+class Engine;
+
+enum class ConnState : std::uint8_t {
+  kSynSent,      // initiator waiting for SYN-ACK
+  kEstablished,
+};
+
+class Connection {
+ public:
+  /// One physical path of the connection: a local NIC (via its driver) and
+  /// the peer's MAC address on the same rail.
+  struct Link {
+    driver::NetDriver* drv = nullptr;
+    net::MacAddr peer_mac;
+  };
+
+  Connection(Engine& engine, std::uint32_t local_id, int peer_node,
+             std::vector<Link> links, bool initiator);
+
+  // --- identity ---
+  std::uint32_t local_id() const { return local_id_; }
+  std::uint32_t remote_id() const { return remote_id_; }
+  void set_remote_id(std::uint32_t id) { remote_id_ = id; }
+  int peer_node() const { return peer_node_; }
+  bool initiator() const { return initiator_; }
+  ConnState state() const { return state_; }
+  void set_state(ConnState s) { state_ = s; }
+  std::size_t num_links() const { return links_.size(); }
+
+  // --- send path ---
+
+  /// Fragment and queue a remote write; attempts immediate transmission.
+  /// `cpu` is charged per transmitted frame.
+  SendOpPtr submit_write(std::uint64_t remote_va, std::span<const std::byte> data,
+                         std::uint16_t flags, sim::Cpu& cpu);
+
+  /// Queue a scatter write: `encoded` is a scatter payload (see
+  /// encode_scatter_payload) applied relative to `remote_base_va` when the
+  /// operation completes at the receiver.
+  SendOpPtr submit_scatter_write(std::uint64_t remote_base_va,
+                                 std::span<const std::byte> encoded,
+                                 std::uint16_t flags, sim::Cpu& cpu);
+
+  /// Queue a remote read request. Completes when all response data has been
+  /// applied to local memory at `local_va`.
+  SendOpPtr submit_read(std::uint64_t local_va, std::uint64_t remote_va,
+                        std::uint32_t size, std::uint16_t flags, sim::Cpu& cpu);
+
+  /// Transmit queued frames while the window and NIC rings allow.
+  void try_transmit(sim::Cpu& cpu);
+
+  /// True if frames are waiting for window or ring space.
+  bool has_backlog() const { return !pending_.empty() || !retx_queue_.empty(); }
+
+  // --- receive path (called from the protocol thread via the engine) ---
+
+  /// Process the piggy-backed cumulative ACK carried by any frame.
+  void process_ack(std::uint64_t ack, sim::Cpu& cpu);
+
+  /// Handle an explicit ACK frame (cumulative ack + NACK list).
+  void handle_ack_frame(const DecodedFrame& df, sim::Cpu& cpu);
+
+  /// Handle a sequenced data-path frame (write/read-response fragment or
+  /// read request). `frame` keeps the payload alive for buffered fragments.
+  void handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
+                         sim::Cpu& cpu);
+
+  /// Build and send an explicit ACK now. With `force_nacks`, every open gap
+  /// is reported regardless of its thresholds.
+  void send_explicit_ack(sim::Cpu& cpu, bool force_nacks = false);
+
+  /// When an operation completed here since the last ack we sent, its
+  /// initiator is likely blocked on the completion: at the protocol
+  /// thread's next idle point the delayed-ack timer is shortened to the
+  /// solicited-ack delay, leaving a brief window for an application reply
+  /// to piggy-back the acknowledgment.
+  void solicit_ack_at_idle();
+  bool wants_idle_ack() const {
+    return state_ == ConnState::kEstablished && ack_on_idle_ &&
+           rx_since_ack_ > 0;
+  }
+
+  // --- timers (wired by the engine into its CPU context) ---
+  void on_retransmit_timeout(sim::Cpu& cpu);
+  void on_ack_timeout(sim::Cpu& cpu);
+  void on_nack_timeout(sim::Cpu& cpu);
+
+  stats::Counters& counters() { return counters_; }
+  const stats::Counters& counters() const { return counters_; }
+
+  /// Sender-side flow-control snapshot (tests / diagnostics).
+  std::uint64_t snd_una() const { return snd_una_; }
+  std::uint64_t snd_nxt() const { return next_seq_; }
+  std::uint64_t rcv_nxt() const { return rcv_nxt_; }
+  /// Transmitted-but-unacknowledged frames (always <= window_frames).
+  std::size_t frames_in_flight() const { return unacked_.size(); }
+  std::size_t reorder_buffer_depth() const {
+    return ooo_buffer_.size() + rcvd_above_.size();
+  }
+
+ private:
+  friend class Engine;
+
+  // One buffered fragment awaiting ordering/fence resolution.
+  struct BufferedFrag {
+    net::FramePtr frame;  // keeps payload storage alive
+    WireHeader hdr;
+    std::span<const std::byte> data;
+  };
+
+  // Receiver-side view of one remote operation.
+  struct RecvOp {
+    std::uint64_t op_id = 0;
+    std::uint16_t flags = 0;
+    std::uint64_t ffence_dep = kNoFenceDep;
+    std::uint32_t size = 0;
+    std::uint32_t applied = 0;
+    bool is_read_req = false;     // a remote-read request to serve
+    bool is_read_resp = false;    // response data for one of our reads
+    bool is_scatter = false;      // scatter write: assemble, apply at end
+    std::vector<std::byte> assembly;  // scatter payload being reassembled
+    std::uint64_t write_va = 0;      // destination base VA (write/response)
+    std::uint64_t read_src_va = 0;   // target-side source of a read
+    std::uint64_t read_dst_va = 0;   // initiator-side destination
+    std::uint64_t read_req_op = 0;   // initiator's op id (echoed in response)
+    std::vector<BufferedFrag> blocked;
+  };
+
+  // A sequence gap observed at the receiver.
+  struct Gap {
+    sim::Time first_seen = 0;
+    std::uint32_t frames_since = 0;
+    bool nacked = false;
+    sim::Time nacked_at = 0;
+  };
+
+  // A built frame waiting to be transmitted (or retransmitted).
+  struct OutFrame {
+    std::shared_ptr<net::Frame> frame;
+    std::uint64_t seq = 0;
+  };
+
+  void fragment_op(FrameKind kind, OpType op_type, SendOp& op,
+                   std::uint64_t ffence_dep, std::uint64_t remote_va,
+                   std::uint64_t aux_va, std::span<const std::byte> data,
+                   std::uint32_t op_size);
+  void submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
+                            std::uint32_t size, std::uint64_t req_op_id,
+                            sim::Cpu& cpu);
+  std::size_t pick_link();
+  bool transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
+                             sim::Cpu& cpu);
+  void complete_acked_ops(sim::Cpu& cpu);
+
+  void accept_new_seq(std::uint64_t seq);
+  void note_gap_progress();
+  std::vector<std::uint64_t> collect_due_nacks(bool force_all);
+  void apply_or_block(BufferedFrag frag, sim::Cpu& cpu);
+  RecvOp& recv_op_for(const WireHeader& hdr);
+  bool fences_satisfied(const RecvOp& op) const;
+  bool recv_op_completed(std::uint64_t op_id) const;
+  void apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu);
+  void maybe_complete(RecvOp& op, sim::Cpu& cpu);
+  void unblock_ops(sim::Cpu& cpu);
+  void after_new_data_frame(sim::Cpu& cpu);
+  void on_duplicate(std::uint64_t seq, sim::Cpu& cpu);
+
+  Engine& engine_;
+  std::uint32_t local_id_;
+  std::uint32_t remote_id_ = 0;
+  int peer_node_;
+  std::vector<Link> links_;
+  bool initiator_;
+  ConnState state_ = ConnState::kSynSent;
+
+  // ---- send side ----
+  std::uint64_t next_seq_ = 0;     // next sequence number to assign
+  std::uint64_t snd_una_ = 0;      // oldest unacknowledged sequence
+  std::uint64_t next_op_id_ = 0;
+  std::uint64_t ffence_latest_ = kNoFenceDep;  // last forward-fenced op
+  std::deque<OutFrame> pending_;  // built, not yet sent
+  std::map<std::uint64_t, std::shared_ptr<net::Frame>> unacked_;
+  std::deque<OutFrame> retx_queue_;
+  std::set<std::uint64_t> retx_queued_seqs_;
+  std::deque<SendOpPtr> write_ops_;                  // await ack completion
+  std::map<std::uint64_t, SendOpPtr> pending_reads_;  // await response data
+  std::size_t rr_next_link_ = 0;
+  sim::Timer retransmit_timer_;
+
+  // ---- receive side ----
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, BufferedFrag> ooo_buffer_;  // in-order mode
+  std::set<std::uint64_t> rcvd_above_;                // out-of-order mode
+  std::map<std::uint64_t, Gap> gaps_;
+  std::uint32_t rx_since_ack_ = 0;  // data frames since we last acked
+  bool ack_on_idle_ = false;        // an op completed since the last ack
+  sim::Timer ack_timer_;
+  sim::Timer nack_timer_;
+
+  std::map<std::uint64_t, RecvOp> recv_ops_;
+  std::uint64_t recv_completed_below_ = 0;
+  std::set<std::uint64_t> recv_completed_above_;
+
+  stats::Counters counters_;
+};
+
+}  // namespace multiedge::proto

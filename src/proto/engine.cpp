@@ -1,0 +1,303 @@
+#include "proto/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace multiedge::proto {
+
+Engine::Engine(sim::Simulator& sim, int node_id, MemorySpace& memory,
+               sim::Cpu& proto_cpu, ProtocolConfig config, HostCostModel costs)
+    : sim_(sim),
+      node_id_(node_id),
+      memory_(memory),
+      proto_cpu_(proto_cpu),
+      cfg_(config),
+      costs_(costs),
+      rng_(0xa11ce5 + static_cast<std::uint64_t>(node_id) * 7919) {}
+
+Engine::~Engine() = default;
+
+void Engine::add_rail(driver::NetDriver* drv) {
+  rails_.push_back(drv);
+  drv->set_interrupt_handler([this, rail = rails_.size() - 1] {
+    // Interrupt context (§2.6): mask this NIC's interrupts, account the
+    // interrupt entry cost, and signal the protocol kernel thread.
+    proto_cpu_.charge(costs_.irq_cost);
+    counters_.add("interrupts");
+    rails_[rail]->enable_interrupts(false);
+    signal_thread();
+  });
+}
+
+void Engine::set_mac_table(std::vector<std::vector<net::MacAddr>> table) {
+  mac_table_ = std::move(table);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol kernel thread
+// ---------------------------------------------------------------------------
+
+void Engine::signal_thread() {
+  if (thread_active_) return;  // it will pick the new events up while polling
+  thread_active_ = true;
+  counters_.add("thread_wakeups");
+  proto_cpu_.submit(costs_.thread_wakeup_cost, [this] { thread_loop(); });
+}
+
+void Engine::thread_loop() {
+  sim::Time cost = 0;
+
+  std::uint64_t completions = 0;
+  for (auto* d : rails_) completions += d->reap_tx_completions();
+  if (completions > 0) {
+    cost += static_cast<sim::Time>(completions) * costs_.tx_complete_cost;
+    counters_.add("tx_completions", completions);
+  }
+
+  // Poll every NIC, gathering up to one batch of frames (round-robin over
+  // rails so one busy rail cannot starve the others).
+  std::vector<RxItem> batch;
+  bool more = true;
+  while (more && batch.size() < cfg_.thread_batch_frames) {
+    more = false;
+    for (auto* d : rails_) {
+      if (batch.size() >= cfg_.thread_batch_frames) break;
+      net::FramePtr f = d->poll_rx();
+      if (!f) continue;
+      more = true;
+      RxItem item;
+      item.frame = std::move(f);
+      if (!decode_frame_payload(item.frame->payload, item.decoded)) {
+        counters_.add("malformed_frames");
+        continue;
+      }
+      cost += costs_.rx_frame_cost;
+      if (item.decoded.hdr.kind == FrameKind::kData) {
+        // Kernel -> user copy of the fragment data (§2.3, marker 4).
+        cost += costs_.copy_cost_kernel(item.decoded.data.size());
+      }
+      batch.push_back(std::move(item));
+    }
+  }
+
+  if (batch.empty() && completions == 0) {
+    // Nothing to process: drain any backlog the rings now have room for,
+    // send solicited acks for operations that completed during the burst,
+    // re-enable interrupts, and put the thread to sleep (§2.6).
+    flush_backlog();
+    for (const auto& c : conns_) c->solicit_ack_at_idle();
+    for (auto* d : rails_) d->enable_interrupts(true);
+    bool pending = false;
+    for (auto* d : rails_) pending = pending || d->events_pending();
+    if (!pending) {
+      thread_active_ = false;
+      return;
+    }
+    for (auto* d : rails_) d->enable_interrupts(false);
+    sim_.in(0, [this] { thread_loop(); });
+    return;
+  }
+
+  proto_cpu_.submit(cost, [this, b = std::move(batch)]() mutable {
+    for (auto& item : b) dispatch(item);
+    flush_backlog();
+    thread_loop();
+  });
+}
+
+void Engine::dispatch(RxItem& item) {
+  const WireHeader& h = item.decoded.hdr;
+  switch (h.kind) {
+    case FrameKind::kConnSyn:
+      on_syn(item.decoded);
+      break;
+    case FrameKind::kConnSynAck:
+      on_syn_ack(item.decoded);
+      break;
+    case FrameKind::kConnAck:
+      on_conn_ack(item.decoded);
+      break;
+    case FrameKind::kAck: {
+      Connection* c = find_conn(h.conn_id);
+      if (!c) {
+        counters_.add("frames_unknown_conn");
+        return;
+      }
+      c->handle_ack_frame(item.decoded, proto_cpu_);
+      break;
+    }
+    case FrameKind::kData:
+    case FrameKind::kReadReq: {
+      Connection* c = find_conn(h.conn_id);
+      if (!c) {
+        counters_.add("frames_unknown_conn");
+        return;
+      }
+      c->process_ack(h.ack, proto_cpu_);
+      c->handle_data_frame(item.frame, item.decoded, proto_cpu_);
+      break;
+    }
+  }
+}
+
+void Engine::flush_backlog() {
+  if (backlog_.empty()) return;
+  std::vector<Connection*> conns(backlog_.begin(), backlog_.end());
+  backlog_.clear();
+  for (Connection* c : conns) {
+    c->try_transmit(proto_cpu_);  // re-registers itself if still blocked
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connections & handshake
+// ---------------------------------------------------------------------------
+
+Connection* Engine::find_conn(std::uint32_t local_id) {
+  auto it = conns_by_id_.find(local_id);
+  return it == conns_by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<Connection::Link> Engine::links_to(int peer) const {
+  assert(peer >= 0 && static_cast<std::size_t>(peer) < mac_table_.size() &&
+         "unknown peer node — was set_mac_table() called?");
+  std::vector<Connection::Link> links;
+  links.reserve(rails_.size());
+  for (std::size_t r = 0; r < rails_.size(); ++r) {
+    links.push_back(Connection::Link{rails_[r], mac_table_[peer][r]});
+  }
+  return links;
+}
+
+Connection* Engine::make_connection(int peer, bool is_initiator) {
+  const std::uint32_t id = next_conn_id_++;
+  auto conn =
+      std::make_unique<Connection>(*this, id, peer, links_to(peer), is_initiator);
+  Connection* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  conns_by_id_[id] = raw;
+  return raw;
+}
+
+Connection* Engine::connect(int peer) {
+  Connection* conn = make_connection(peer, /*is_initiator=*/true);
+  conn->set_state(ConnState::kSynSent);
+
+  auto send_syn = [this, conn, peer] {
+    WireHeader h;
+    h.kind = FrameKind::kConnSyn;
+    h.conn_id = conn->local_id();
+    h.src_node = static_cast<std::uint16_t>(node_id_);
+    send_ctrl_frame(peer, h, proto_cpu_);
+  };
+  PendingConnect pc;
+  pc.conn = conn;
+  pc.retry = std::make_unique<sim::Timer>(sim_, [this, send_syn,
+                                                 id = conn->local_id()] {
+    auto it = pending_connects_.find(id);
+    if (it == pending_connects_.end()) return;
+    counters_.add("syn_retries");
+    send_syn();
+    it->second.retry->schedule(cfg_.connect_retry_timeout);
+  });
+  pc.retry->schedule(cfg_.connect_retry_timeout);
+  pending_connects_.emplace(conn->local_id(), std::move(pc));
+  send_syn();
+  return conn;
+}
+
+Connection* Engine::responder_for(int peer) {
+  for (const auto& [key, conn] : responder_index_) {
+    if (key.first == peer && conn->state() == ConnState::kEstablished) {
+      return conn;
+    }
+  }
+  return nullptr;
+}
+
+void Engine::send_ctrl_frame(int peer, const WireHeader& hdr, sim::Cpu& cpu) {
+  // Handshake control frames always use rail 0.
+  auto frame = std::make_shared<net::Frame>();
+  frame->payload = encode_frame_payload(hdr);
+  frame->src = rails_[0]->mac();
+  frame->dst = mac_table_[peer][0];
+  cpu.charge(costs_.tx_frame_cost);
+  if (!rails_[0]->transmit(std::move(frame))) {
+    counters_.add("ctrl_send_failed");  // retry timers recover
+  }
+}
+
+void Engine::on_syn(const DecodedFrame& df) {
+  const int peer = df.hdr.src_node;
+  const auto key = std::make_pair(peer, df.hdr.conn_id);
+  Connection* conn = nullptr;
+  auto it = responder_index_.find(key);
+  if (it != responder_index_.end()) {
+    conn = it->second;  // duplicate SYN: our SYN-ACK was lost; resend it
+    counters_.add("dup_syn");
+  } else {
+    conn = make_connection(peer, /*is_initiator=*/false);
+    conn->set_remote_id(df.hdr.conn_id);
+    conn->set_state(ConnState::kEstablished);
+    responder_index_.emplace(key, conn);
+    conn_events_.notify_all();
+  }
+  WireHeader h;
+  h.kind = FrameKind::kConnSynAck;
+  h.conn_id = df.hdr.conn_id;       // routes to the initiator's connection
+  h.op_id = conn->local_id();       // tells the initiator our id
+  h.src_node = static_cast<std::uint16_t>(node_id_);
+  send_ctrl_frame(peer, h, proto_cpu_);
+}
+
+void Engine::on_syn_ack(const DecodedFrame& df) {
+  Connection* conn = find_conn(df.hdr.conn_id);
+  if (!conn) {
+    counters_.add("frames_unknown_conn");
+    return;
+  }
+  if (conn->state() == ConnState::kSynSent) {
+    conn->set_remote_id(static_cast<std::uint32_t>(df.hdr.op_id));
+    conn->set_state(ConnState::kEstablished);
+    pending_connects_.erase(conn->local_id());
+    conn_events_.notify_all();
+    conn->try_transmit(proto_cpu_);
+  }
+  // Always (re)confirm — the responder may have missed our CONN-ACK.
+  WireHeader h;
+  h.kind = FrameKind::kConnAck;
+  h.conn_id = conn->remote_id();
+  h.src_node = static_cast<std::uint16_t>(node_id_);
+  send_ctrl_frame(conn->peer_node(), h, proto_cpu_);
+}
+
+void Engine::on_conn_ack(const DecodedFrame& df) {
+  counters_.add("conn_acks");
+  (void)df;  // the responder was usable as soon as it answered the SYN
+}
+
+// ---------------------------------------------------------------------------
+// Notifications & stats
+// ---------------------------------------------------------------------------
+
+void Engine::deliver_notification(Notification n, sim::Cpu& cpu) {
+  cpu.charge(costs_.notify_cost);
+  counters_.add("notifications_delivered");
+  notifications_.push_back(n);
+  notify_events_.notify_all();
+}
+
+Notification Engine::pop_notification() {
+  assert(!notifications_.empty());
+  Notification n = notifications_.front();
+  notifications_.pop_front();
+  return n;
+}
+
+stats::Counters Engine::aggregate_counters() const {
+  stats::Counters out = counters_;
+  for (const auto& c : conns_) out.merge(c->counters());
+  return out;
+}
+
+}  // namespace multiedge::proto

@@ -1,0 +1,139 @@
+// The per-node MultiEdge kernel protocol layer (§2.1, §2.3, §2.6).
+//
+// The engine owns every connection of one node, dispatches received frames,
+// runs the connection handshake, and implements the interrupt-minimisation
+// scheme: NIC interrupt handlers mask further interrupts and signal the
+// protocol kernel thread; the thread polls all NICs, processing completions
+// and received frames in batches, and re-enables interrupts only when no
+// events remain. All protocol CPU time is charged to the node's second CPU
+// (`proto_cpu`), matching the paper's one-CPU-for-protocol setup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "driver/net_driver.hpp"
+#include "proto/config.hpp"
+#include "proto/connection.hpp"
+#include "proto/memory.hpp"
+#include "proto/types.hpp"
+#include "proto/wire.hpp"
+#include "sim/cpu.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "sim/wait_queue.hpp"
+#include "stats/counters.hpp"
+
+namespace multiedge::proto {
+
+class Engine {
+ public:
+  Engine(sim::Simulator& sim, int node_id, MemorySpace& memory,
+         sim::Cpu& proto_cpu, ProtocolConfig config, HostCostModel costs);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Attach the NIC driver for rail `r` (call once per rail, in rail order).
+  void add_rail(driver::NetDriver* drv);
+
+  /// MAC directory: mac_table[node][rail]. Needed to address peers.
+  void set_mac_table(std::vector<std::vector<net::MacAddr>> table);
+
+  // --- connection management ---
+
+  /// Start connecting to `peer` over all rails. Non-blocking; the connection
+  /// is usable once state() == kEstablished (wait on conn_events()).
+  Connection* connect(int peer);
+
+  /// The established responder-side connection initiated by `peer`, if any.
+  Connection* responder_for(int peer);
+
+  /// Notified whenever any connection reaches kEstablished.
+  sim::WaitQueue& conn_events() { return conn_events_; }
+
+  // --- notifications (remote-write completion events, §2.2) ---
+  bool has_notification() const { return !notifications_.empty(); }
+  Notification pop_notification();
+  sim::WaitQueue& notify_events() { return notify_events_; }
+
+  // --- infrastructure used by Connection ---
+  sim::Simulator& sim() { return sim_; }
+  const ProtocolConfig& config() const { return cfg_; }
+  const HostCostModel& costs() const { return costs_; }
+  MemorySpace& memory() { return memory_; }
+  int node_id() const { return node_id_; }
+  sim::Rng& rng() { return rng_; }
+  sim::Cpu& proto_cpu() { return proto_cpu_; }
+  void deliver_notification(Notification n, sim::Cpu& cpu);
+  /// Register a connection that still has frames waiting for window/ring.
+  void note_backlog(Connection* conn) { backlog_.insert(conn); }
+
+  // --- statistics ---
+  stats::Counters& counters() { return counters_; }
+  /// Sum of all connections' counters plus the engine's own.
+  stats::Counters aggregate_counters() const;
+  const std::vector<driver::NetDriver*>& rails() const { return rails_; }
+  const std::vector<std::unique_ptr<Connection>>& connections() const {
+    return conns_;
+  }
+
+ private:
+  friend class Connection;
+
+  struct PendingConnect {
+    Connection* conn = nullptr;
+    std::unique_ptr<sim::Timer> retry;
+  };
+
+  void irq_handler();
+  void signal_thread();
+  void thread_loop();
+  struct RxItem {
+    net::FramePtr frame;
+    DecodedFrame decoded;
+  };
+  void dispatch(RxItem& item);
+  void flush_backlog();
+
+  Connection* find_conn(std::uint32_t local_id);
+  Connection* make_connection(int peer, bool is_initiator);
+  std::vector<Connection::Link> links_to(int peer) const;
+  void send_ctrl_frame(int peer, const WireHeader& hdr, sim::Cpu& cpu);
+  void on_syn(const DecodedFrame& df);
+  void on_syn_ack(const DecodedFrame& df);
+  void on_conn_ack(const DecodedFrame& df);
+
+  sim::Simulator& sim_;
+  int node_id_;
+  MemorySpace& memory_;
+  sim::Cpu& proto_cpu_;
+  ProtocolConfig cfg_;
+  HostCostModel costs_;
+  sim::Rng rng_;
+
+  std::vector<driver::NetDriver*> rails_;
+  std::vector<std::vector<net::MacAddr>> mac_table_;
+
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::map<std::uint32_t, Connection*> conns_by_id_;
+  // Responder-side dedupe: (peer node, initiator conn id) -> connection.
+  std::map<std::pair<int, std::uint32_t>, Connection*> responder_index_;
+  std::map<std::uint32_t, PendingConnect> pending_connects_;
+  std::uint32_t next_conn_id_ = 1;
+  sim::WaitQueue conn_events_;
+
+  std::deque<Notification> notifications_;
+  sim::WaitQueue notify_events_;
+
+  std::set<Connection*> backlog_;
+  bool thread_active_ = false;
+  stats::Counters counters_;
+};
+
+}  // namespace multiedge::proto

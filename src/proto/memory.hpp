@@ -1,0 +1,72 @@
+// Per-node process address space.
+//
+// MultiEdge's remote operations address "all the virtual address space of a
+// process executing on a remote node" (§2.2). Each simulated node owns one
+// MemorySpace arena; a virtual address is an offset into it. The protocol
+// layer copies received data straight into this space (receive buffers need
+// no pre-registration), and applications build their data structures in it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace multiedge::proto {
+
+class MemorySpace {
+ public:
+  explicit MemorySpace(std::size_t bytes) : mem_(bytes) {}
+
+  std::size_t size() const { return mem_.size(); }
+
+  void write(std::uint64_t va, std::span<const std::byte> data) {
+    assert(va + data.size() <= mem_.size() && "remote write out of bounds");
+    std::copy(data.begin(), data.end(), mem_.begin() + va);
+  }
+
+  void read(std::uint64_t va, std::span<std::byte> out) const {
+    assert(va + out.size() <= mem_.size() && "remote read out of bounds");
+    std::copy(mem_.begin() + va, mem_.begin() + va + out.size(), out.begin());
+  }
+
+  std::span<const std::byte> view(std::uint64_t va, std::size_t len) const {
+    assert(va + len <= mem_.size());
+    return {mem_.data() + va, len};
+  }
+
+  std::span<std::byte> view_mut(std::uint64_t va, std::size_t len) {
+    assert(va + len <= mem_.size());
+    return {mem_.data() + va, len};
+  }
+
+  /// Typed access for application code (alignment is the caller's business;
+  /// allocations from Arena below are 64-byte aligned).
+  template <typename T>
+  T* as(std::uint64_t va) {
+    assert(va + sizeof(T) <= mem_.size());
+    return reinterpret_cast<T*>(mem_.data() + va);
+  }
+  template <typename T>
+  const T* as(std::uint64_t va) const {
+    assert(va + sizeof(T) <= mem_.size());
+    return reinterpret_cast<const T*>(mem_.data() + va);
+  }
+
+  /// Trivial bump allocator for carving the space into named regions.
+  std::uint64_t alloc(std::size_t bytes, std::size_t align = 64) {
+    std::uint64_t va = (brk_ + align - 1) / align * align;
+    assert(va + bytes <= mem_.size() && "address space exhausted");
+    brk_ = va + bytes;
+    return va;
+  }
+
+  std::uint64_t bytes_allocated() const { return brk_; }
+
+ private:
+  std::vector<std::byte> mem_;
+  std::uint64_t brk_ = 0;
+};
+
+}  // namespace multiedge::proto

@@ -1,0 +1,46 @@
+// Protocol-level value types shared between the connection state machine,
+// the engine, and the user-level library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/wait_queue.hpp"
+
+namespace multiedge::proto {
+
+/// Completion notification delivered to the remote node when a remote write
+/// flagged kOpFlagNotify has been fully performed (§2.2).
+struct Notification {
+  int src_node = -1;
+  std::uint64_t op_id = 0;
+  std::uint64_t va = 0;
+  std::uint32_t size = 0;
+};
+
+enum class OpKind : std::uint8_t { kWrite, kRead };
+
+/// Sender-side state of one issued operation; the user-level OpHandle wraps
+/// a shared_ptr to this.
+struct SendOp {
+  std::uint64_t op_id = 0;
+  OpKind kind = OpKind::kWrite;
+  std::uint16_t flags = 0;
+  std::uint32_t size = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  bool complete = false;
+  /// Bytes acknowledged so far (writes) — the progress-query primitive the
+  /// paper's API exposes through operation handles (§2.2).
+  std::uint32_t progress_bytes = 0;
+
+  /// Fibers blocked in OpHandle::wait().
+  sim::WaitQueue waiters;
+  /// Optional completion hook (used by the DSM's asynchronous flushes).
+  std::function<void()> on_complete;
+};
+
+using SendOpPtr = std::shared_ptr<SendOp>;
+
+}  // namespace multiedge::proto

@@ -1,0 +1,125 @@
+// MultiEdge wire format.
+//
+// Every MultiEdge frame is a raw Ethernet frame (ethertype 0x88B5) whose
+// payload starts with this fixed header. Data-path frames (remote-write
+// fragments, read-response fragments, read requests) carry a per-connection,
+// per-direction sequence number and are covered by the sliding window;
+// explicit ACK frames are unsequenced control traffic carrying the cumulative
+// acknowledgment plus an optional NACK list. All frames — control or data —
+// piggy-back the cumulative ACK of the reverse direction (§2.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace multiedge::proto {
+
+enum class FrameKind : std::uint8_t {
+  kData = 1,      // remote-write or read-response fragment (sequenced)
+  kReadReq = 2,   // remote-read request (sequenced, no payload)
+  kAck = 3,       // explicit ACK/NACK (unsequenced)
+  kConnSyn = 4,   // connection handshake
+  kConnSynAck = 5,
+  kConnAck = 6,
+};
+
+enum class OpType : std::uint8_t {
+  kWrite = 1,
+  kReadResp = 2,
+  /// A scatter write: the operation payload is an encoded list of
+  /// (offset, length, bytes) segments applied relative to remote_va when the
+  /// operation completes. One operation ships an arbitrarily fragmented
+  /// update (e.g. a DSM page diff) in a single wire message.
+  kScatterWrite = 3,
+};
+
+/// One segment of a scatter-write payload (offsets relative to remote_va).
+struct ScatterChunk {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Encode segments + data into a scatter payload: [u32 count] then per
+/// segment [u32 offset][u32 length][length bytes].
+std::vector<std::byte> encode_scatter_payload(
+    std::span<const ScatterChunk> chunks,
+    std::span<const std::span<const std::byte>> data);
+
+/// Decode a scatter payload; returns false if malformed. `out` receives
+/// (offset, data view) pairs into `payload`.
+bool decode_scatter_payload(
+    std::span<const std::byte> payload,
+    std::vector<std::pair<std::uint32_t, std::span<const std::byte>>>& out);
+
+/// Operation flag bits (the `flags` bit-field of RDMA_operation, §2.2/§2.5).
+enum OpFlags : std::uint16_t {
+  kOpFlagNone = 0,
+  /// Performed only after all previous operations to this destination.
+  kOpFlagBackwardFence = 1u << 0,
+  /// Subsequent operations performed only after this one.
+  kOpFlagForwardFence = 1u << 1,
+  /// Deliver a completion notification to the remote node.
+  kOpFlagNotify = 1u << 2,
+  /// The initiator blocks on this operation's acknowledgment: the receiver
+  /// shortens its delayed-ack timer once the operation completes (solicited
+  /// ack) instead of waiting out the full delay.
+  kOpFlagSolicit = 1u << 3,
+};
+
+/// Sentinel for "no forward-fence dependency".
+inline constexpr std::uint64_t kNoFenceDep = ~std::uint64_t{0};
+
+struct WireHeader {
+  FrameKind kind = FrameKind::kData;
+  OpType op_type = OpType::kWrite;
+  std::uint16_t op_flags = 0;
+  std::uint32_t conn_id = 0;      // receiver's connection identifier
+  std::uint16_t src_node = 0;     // sender node id (handshake / diagnostics)
+  std::uint64_t seq = 0;          // data-path sequence number
+  std::uint64_t ack = 0;          // cumulative ack of reverse direction
+  std::uint64_t op_id = 0;        // dense per-direction operation number
+  std::uint64_t ffence_dep = kNoFenceDep;  // op that must complete first
+  std::uint64_t remote_va = 0;    // destination VA of this fragment
+  std::uint64_t aux_va = 0;       // read request: initiator's destination VA
+  std::uint32_t frag_offset = 0;  // fragment offset within the operation
+  std::uint32_t op_size = 0;      // total operation size in bytes
+  std::uint16_t nack_count = 0;   // NACKed seqs appended after the header
+
+  /// Serialized header size in bytes (68 bytes of fields, padded to 72).
+  static constexpr std::size_t kBytes = 72;
+  /// Data payload available per frame after the header.
+  static constexpr std::size_t kMaxData = net::Frame::kMtu - kBytes;
+  /// NACK list entries that fit in one explicit ACK frame.
+  static constexpr std::size_t kMaxNacks = kMaxData / sizeof(std::uint64_t);
+};
+static_assert(WireHeader::kMaxData == 1428);
+
+/// Encode `hdr` (+ optional nack list + data payload) into a frame payload.
+/// Layout: [header | nack seqs (8B each) | data bytes].
+std::vector<std::byte> encode_frame_payload(
+    const WireHeader& hdr, std::span<const std::uint64_t> nacks = {},
+    std::span<const std::byte> data = {});
+
+/// Decode result: header plus views into the carried nacks and data.
+struct DecodedFrame {
+  WireHeader hdr;
+  std::vector<std::uint64_t> nacks;
+  std::span<const std::byte> data;  // view into the source payload
+};
+
+/// Decode a frame payload. Returns false on malformed input (too short,
+/// inconsistent lengths) — the protocol drops such frames as damaged.
+bool decode_frame_payload(std::span<const std::byte> payload, DecodedFrame& out);
+
+/// Byte offset of the cumulative-ack field within the serialized header.
+/// The sender patches this immediately before (re)transmission so every
+/// outgoing frame piggy-backs the freshest acknowledgment (§2.4).
+inline constexpr std::size_t kAckFieldOffset = 20;
+
+void patch_ack(std::span<std::byte> payload, std::uint64_t ack);
+
+}  // namespace multiedge::proto

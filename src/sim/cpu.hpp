@@ -1,0 +1,65 @@
+// A Cpu models one processor core of a simulated node as a serially-shared
+// resource with busy-time accounting.
+//
+// Two usage styles coexist, mirroring the paper's setup of one CPU for the
+// application and one for the communication protocol:
+//
+//  * Fiber style — application code calls consume(): the calling process
+//    waits until the core is free, then occupies it for the given cost.
+//  * Event style — the protocol layer calls submit(): work items queue FIFO
+//    on the core and the completion callback fires when each item finishes.
+//
+// utilization() reports busy fraction since the last reset_window(), which is
+// how Figure 2(c) and Figures 3-6(c) report protocol CPU load.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace multiedge::sim {
+
+class Cpu {
+ public:
+  Cpu(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Event style: enqueue `cost` of work; `done` fires when it completes.
+  void submit(Time cost, Simulator::Callback done);
+
+  /// Event style without completion callback (fire-and-forget accounting).
+  void charge(Time cost);
+
+  /// Fiber style: the current process occupies this core for `cost`.
+  void consume(Time cost);
+
+  /// Earliest time at which the core is free.
+  Time free_at() const { return std::max(free_at_, sim_.now()); }
+  bool busy() const { return free_at_ > sim_.now(); }
+
+  Time busy_time() const { return busy_; }
+
+  /// Start a measurement window at the current time.
+  void reset_window();
+
+  /// Busy fraction within the current window, in [0, 1].
+  double utilization() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Time occupy(Time cost);
+
+  Simulator& sim_;
+  std::string name_;
+  Time free_at_ = 0;
+  Time busy_ = 0;           // total busy time ever
+  Time window_start_ = 0;   // measurement window origin
+  Time window_busy0_ = 0;   // busy_ at window start
+};
+
+}  // namespace multiedge::sim

@@ -1,0 +1,50 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+namespace multiedge::sim {
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &return_ctx_;
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // A fiber must run to completion (or never start) before destruction;
+  // destroying a suspended fiber would leak whatever RAII state lives on its
+  // stack. All owners in this codebase join their fibers first.
+  assert(done_ || !started_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = current_;
+  self->body_();
+  self->done_ = true;
+  // Returning lets ucontext switch to uc_link (return_ctx_), i.e. back to
+  // whoever resumed us, with current_ already reset by resume().
+}
+
+void Fiber::resume() {
+  assert(current_ == nullptr && "fibers must be resumed from the main context");
+  assert(!done_);
+  started_ = true;
+  current_ = this;
+  swapcontext(&return_ctx_, &ctx_);
+  current_ = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = current_;
+  assert(self != nullptr && "yield() called outside any fiber");
+  current_ = nullptr;
+  swapcontext(&self->ctx_, &self->return_ctx_);
+  // When resumed, resume() has set current_ back to self.
+}
+
+}  // namespace multiedge::sim

@@ -1,0 +1,63 @@
+#include "sim/process.hpp"
+
+#include <utility>
+
+namespace multiedge::sim {
+
+Process::Process(Simulator& sim, std::string name, Fiber::Body body,
+                 std::size_t stack_bytes)
+    : sim_(sim), name_(std::move(name)), fiber_(std::move(body), stack_bytes) {}
+
+void Process::start() {
+  assert(state_ == State::kCreated);
+  state_ = State::kReady;
+  const std::uint64_t gen = ++block_gen_;
+  sim_.in(0, [this, gen] {
+    if (gen != block_gen_ || state_ != State::kReady) return;
+    run_slice();
+  });
+}
+
+void Process::run_slice() {
+  state_ = State::kRunning;
+  Process* prev = current_;
+  current_ = this;
+  fiber_.resume();
+  current_ = prev;
+  if (fiber_.done()) {
+    state_ = State::kFinished;
+  }
+  // Otherwise the fiber blocked via delay()/suspend(), which already set
+  // state_ and scheduled any resume event before yielding.
+}
+
+void Process::delay(Time d) {
+  assert(current_ == this && "delay() called outside the process fiber");
+  state_ = State::kDelaying;
+  const std::uint64_t gen = ++block_gen_;
+  sim_.in(d, [this, gen] {
+    if (gen != block_gen_ || state_ != State::kDelaying) return;
+    state_ = State::kReady;
+    run_slice();
+  });
+  Fiber::yield();
+}
+
+void Process::suspend() {
+  assert(current_ == this && "suspend() called outside the process fiber");
+  state_ = State::kSuspended;
+  ++block_gen_;
+  Fiber::yield();
+}
+
+void Process::wake() {
+  if (state_ != State::kSuspended) return;
+  state_ = State::kReady;
+  const std::uint64_t gen = ++block_gen_;
+  sim_.in(0, [this, gen] {
+    if (gen != block_gen_ || state_ != State::kReady) return;
+    run_slice();
+  });
+}
+
+}  // namespace multiedge::sim

@@ -1,0 +1,66 @@
+// A Process is a fiber scheduled by the Simulator.
+//
+// Inside the fiber, a process can sleep for simulated time (delay), block
+// until an external wake (suspend/wake), and compose with WaitQueue and Cpu
+// for higher-level blocking. Outside code interacts with it only through
+// start()/wake()/done().
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "sim/fiber.hpp"
+#include "sim/simulator.hpp"
+
+namespace multiedge::sim {
+
+class Process {
+ public:
+  enum class State { kCreated, kReady, kRunning, kDelaying, kSuspended, kFinished };
+
+  Process(Simulator& sim, std::string name, Fiber::Body body,
+          std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Schedule the first run at the current simulated time.
+  void start();
+
+  /// --- Calls valid only from inside this process's fiber. ---
+
+  /// Sleep for `d` of simulated time. Not interruptible by wake().
+  void delay(Time d);
+
+  /// Block until some other code calls wake().
+  void suspend();
+
+  /// --- Calls valid only from outside the fiber. ---
+
+  /// Unblock a suspended process; it resumes at the current simulated time.
+  /// Waking a process that is not suspended is a no-op (wakeups never queue;
+  /// callers must re-check their condition after suspend() returns).
+  void wake();
+
+  bool done() const { return state_ == State::kFinished; }
+  State state() const { return state_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  /// The process whose fiber is currently executing, or nullptr.
+  static Process* current() { return current_; }
+
+ private:
+  void run_slice();
+
+  Simulator& sim_;
+  std::string name_;
+  Fiber fiber_;
+  State state_ = State::kCreated;
+  std::uint64_t block_gen_ = 0;  // invalidates stale resume events
+
+  inline static Process* current_ = nullptr;
+};
+
+}  // namespace multiedge::sim

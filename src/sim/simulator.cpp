@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace multiedge::sim {
+
+void Simulator::at(Time t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast of the callback.
+  // The element is popped immediately afterwards, so this is safe.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace multiedge::sim

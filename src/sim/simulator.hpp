@@ -1,0 +1,75 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a time-ordered event queue. Events scheduled for the same
+// instant execute in FIFO order of scheduling (a strict total order, which
+// makes every run bit-for-bit deterministic). All higher layers — NICs,
+// switches, protocol engines, application fibers — drive themselves by
+// scheduling callbacks here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace multiedge::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (clamped to `now()` if in the past).
+  void at(Time t, Callback cb);
+
+  /// Schedule `cb` after delay `d` (>= 0).
+  void in(Time d, Callback cb) { at(now_ + d, std::move(cb)); }
+
+  /// Run one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or stop() is called.
+  void run();
+
+  /// Run until simulated time reaches `t` (events at exactly `t` included),
+  /// the queue drains, or stop() is called.
+  void run_until(Time t);
+
+  /// Make run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (diagnostics / perf tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace multiedge::sim

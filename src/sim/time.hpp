@@ -1,0 +1,48 @@
+// Simulated time: a 64-bit signed count of picoseconds.
+//
+// Picosecond resolution is required so that per-byte serialization times on a
+// 10-GBit/s link (0.8 ns/byte) accumulate without rounding drift. A signed
+// 64-bit picosecond clock covers ~106 days of simulated time, far beyond any
+// experiment in this repository.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace multiedge::sim {
+
+/// Simulated time in picoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000;
+
+/// Largest representable time; used as "never" for idle timers.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Time ps(std::int64_t v) { return v * kPicosecond; }
+constexpr Time ns(std::int64_t v) { return v * kNanosecond; }
+constexpr Time us(std::int64_t v) { return v * kMicrosecond; }
+constexpr Time ms(std::int64_t v) { return v * kMillisecond; }
+constexpr Time sec(std::int64_t v) { return v * kSecond; }
+
+/// Fractional helpers (rounded to the nearest picosecond).
+constexpr Time ns_d(double v) { return static_cast<Time>(v * kNanosecond + 0.5); }
+constexpr Time us_d(double v) { return static_cast<Time>(v * kMicrosecond + 0.5); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Serialization time of `bytes` on a link of `gbps` gigabits per second.
+constexpr Time serialization_time(std::size_t bytes, double gbps) {
+  // bits / (gbps * 1e9 bits/s) seconds == bits / gbps nanoseconds * ...
+  // 1 bit at 1 Gbps = 1 ns = 1000 ps, so: ps = bits * 1000 / gbps.
+  return static_cast<Time>(static_cast<double>(bytes) * 8.0 * 1000.0 / gbps + 0.5);
+}
+
+}  // namespace multiedge::sim

@@ -1,0 +1,16 @@
+#include "sim/timer.hpp"
+
+namespace multiedge::sim {
+
+void Timer::schedule(Time d) {
+  const std::uint64_t gen = ++state_->generation;
+  state_->pending = true;
+  state_->deadline = sim_.now() + d;
+  sim_.in(d, [st = state_, gen] {
+    if (gen != st->generation) return;  // cancelled, re-armed, or destroyed
+    st->pending = false;
+    st->cb();
+  });
+}
+
+}  // namespace multiedge::sim

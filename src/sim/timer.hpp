@@ -1,0 +1,62 @@
+// Cancellable, re-armable one-shot timer on top of the Simulator.
+//
+// The underlying event queue does not support removal, so cancellation is
+// implemented by generation counting on shared state: each (re)arm bumps a
+// generation and the queued callback fires only if its generation is still
+// current. The state is shared with the queued events, so destroying a Timer
+// with a firing still queued is safe (the event becomes a no-op).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace multiedge::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator& sim, Callback cb)
+      : sim_(sim), state_(std::make_shared<State>()) {
+    state_->cb = std::move(cb);
+  }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// Arm (or re-arm) the timer to fire after `d`. Cancels any pending firing.
+  void schedule(Time d);
+
+  /// Arm only if not already pending (used for "start timeout if idle").
+  void schedule_if_idle(Time d) {
+    if (!state_->pending) schedule(d);
+  }
+
+  /// Cancel a pending firing, if any.
+  void cancel() {
+    ++state_->generation;
+    state_->pending = false;
+  }
+
+  bool pending() const { return state_->pending; }
+
+  /// Absolute time of the pending firing (meaningful only if pending()).
+  Time deadline() const { return state_->deadline; }
+
+ private:
+  struct State {
+    Callback cb;
+    std::uint64_t generation = 0;
+    bool pending = false;
+    Time deadline = 0;
+  };
+
+  Simulator& sim_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace multiedge::sim

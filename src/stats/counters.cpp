@@ -1,0 +1,14 @@
+#include "stats/counters.hpp"
+
+namespace multiedge::stats {
+
+Counters Counters::diff(const Counters& base) const {
+  Counters out;
+  for (const auto& [k, v] : values_) {
+    const Value b = base.get(k);
+    if (v > b) out.values_[k] = v - b;
+  }
+  return out;
+}
+
+}  // namespace multiedge::stats

@@ -1,0 +1,46 @@
+// Named event counters with snapshot/diff support.
+//
+// Every layer (NIC, switch, protocol connection, DSM) owns a Counters block.
+// Benches snapshot counters at the start of a measurement phase and report
+// diffs, so warmup traffic (connection setup, first-touch page faults) does
+// not pollute the reported statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace multiedge::stats {
+
+class Counters {
+ public:
+  using Value = std::uint64_t;
+
+  /// Add `delta` to counter `name`, creating it at zero if absent.
+  void add(const std::string& name, Value delta = 1) { values_[name] += delta; }
+
+  /// Read a counter (0 if it never fired).
+  Value get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// All counters, sorted by name.
+  const std::map<std::string, Value>& all() const { return values_; }
+
+  /// Accumulate every counter of `other` into this block.
+  void merge(const Counters& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+
+  /// Counters in this block minus the snapshot `base` (per-phase deltas).
+  Counters diff(const Counters& base) const;
+
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace multiedge::stats

@@ -1,0 +1,104 @@
+// Invariants of the micro-benchmark harness itself (the instrument behind
+// Figure 2): throughput ceilings, latency ordering, CPU bounds, and the
+// multi-link scaling relations the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/microbench.hpp"
+
+namespace multiedge {
+namespace {
+
+MicroParams quick(std::size_t bytes, int iters = 48) {
+  MicroParams p;
+  p.message_bytes = bytes;
+  p.iterations = iters;
+  return p;
+}
+
+TEST(Micro, OneGigOneWayNearLineRate) {
+  MicroResult r = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                            quick(256 * 1024));
+  // Paper: >95% of the nominal link throughput. Wire ceiling for 1428B
+  // payload in 1538B wire frames is ~116 MB/s.
+  EXPECT_GT(r.throughput_mbs, 110.0);
+  EXPECT_LT(r.throughput_mbs, 125.0);
+}
+
+TEST(Micro, TwoRailsDoubleOneWayThroughput) {
+  MicroResult one = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                              quick(256 * 1024));
+  MicroResult two = run_micro(config_2l_1g(2), MicroBench::kOneWay,
+                              quick(256 * 1024));
+  EXPECT_GT(two.throughput_mbs, 1.8 * one.throughput_mbs);
+}
+
+TEST(Micro, TenGigOneWayLandsOnPaperEnvelope) {
+  MicroResult r = run_micro(config_1l_10g(2), MicroBench::kOneWay,
+                            quick(512 * 1024, 64));
+  // Paper: ~1100 MB/s, about 88% of 1250 — sender-side bound.
+  EXPECT_GT(r.throughput_mbs, 1000.0);
+  EXPECT_LT(r.throughput_mbs, 1250.0);
+}
+
+TEST(Micro, MinimumLatencyNearThirtyMicroseconds) {
+  MicroResult r = run_micro(config_1l_10g(2), MicroBench::kPingPong,
+                            quick(64, 64));
+  EXPECT_GT(r.latency_us, 15.0);
+  EXPECT_LT(r.latency_us, 45.0);  // paper: "about 30us"
+}
+
+TEST(Micro, HostOverheadNearTwoMicroseconds) {
+  MicroResult r = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                            quick(64, 64));
+  EXPECT_GT(r.latency_us, 1.0);
+  EXPECT_LT(r.latency_us, 4.0);  // paper: "about 2us"
+}
+
+TEST(Micro, TwoWaySumsBothDirections) {
+  MicroResult one = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                              quick(64 * 1024));
+  MicroResult two = run_micro(config_1l_1g(2), MicroBench::kTwoWay,
+                              quick(64 * 1024));
+  EXPECT_GT(two.throughput_mbs, 1.7 * one.throughput_mbs);
+}
+
+TEST(Micro, SingleLinkHasNoReordering) {
+  MicroResult r = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                            quick(128 * 1024));
+  EXPECT_EQ(r.ooo_frames, 0u);
+}
+
+TEST(Micro, TwoRailsReorderSubstantially) {
+  MicroResult r = run_micro(config_2l_1g(2), MicroBench::kOneWay,
+                            quick(256 * 1024));
+  // Paper: 45-50% with round-robin striping.
+  EXPECT_GT(r.ooo_fraction(), 0.15);
+  EXPECT_LT(r.ooo_fraction(), 0.60);
+}
+
+TEST(Micro, ExtraFramesWithinPaperBound) {
+  for (std::size_t size : {std::size_t{4096}, std::size_t{256} * 1024}) {
+    MicroResult r = run_micro(config_1l_1g(2), MicroBench::kOneWay,
+                              quick(size, 96));
+    EXPECT_LT(r.extra_frame_fraction(), 0.08) << size;  // paper <= 5.5%
+    EXPECT_EQ(r.retransmissions, 0u) << size;           // clean network
+  }
+}
+
+TEST(Micro, CpuUtilizationWithinTwoCpus) {
+  for (MicroBench b :
+       {MicroBench::kPingPong, MicroBench::kOneWay, MicroBench::kTwoWay}) {
+    MicroResult r = run_micro(config_1l_10g(2), b, quick(64 * 1024, 48));
+    EXPECT_GT(r.cpu_utilization, 0.0) << to_string(b);
+    EXPECT_LE(r.cpu_utilization, 2.0) << to_string(b);
+  }
+}
+
+TEST(Micro, NoDropsOnCleanNetwork) {
+  MicroResult r = run_micro(config_2lu_1g(2), MicroBench::kTwoWay,
+                            quick(128 * 1024));
+  EXPECT_EQ(r.dropped_frames, 0u);
+}
+
+}  // namespace
+}  // namespace multiedge

@@ -1,0 +1,165 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace multiedge::net {
+namespace {
+
+class CollectorSink : public FrameSink {
+ public:
+  explicit CollectorSink(sim::Simulator& sim) : sim_(sim) {}
+  void deliver(FramePtr frame) override {
+    frames.push_back(std::move(frame));
+    arrival_times.push_back(sim_.now());
+  }
+  std::vector<FramePtr> frames;
+  std::vector<sim::Time> arrival_times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+FramePtr make_frame(std::size_t payload_bytes) {
+  auto f = std::make_shared<Frame>();
+  f->payload.resize(payload_bytes);
+  return f;
+}
+
+TEST(Channel, DeliversAfterSerializationPlusPropagation) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, /*gbps=*/1.0, /*prop=*/sim::ns(500));
+  ch.set_sink(&sink);
+
+  auto f = make_frame(1500);
+  const sim::Time ser = sim::serialization_time(f->wire_bytes(), 1.0);
+  ch.send(f);
+  sim.run();
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], ser + sim::ns(500));
+}
+
+TEST(Channel, BusyDuringSerialization) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500));
+  ch.set_sink(&sink);
+  ch.send(make_frame(1500));
+  EXPECT_TRUE(ch.busy());
+  sim.run();
+  EXPECT_FALSE(ch.busy());
+}
+
+TEST(Channel, TxDoneFiresAtSerializationEnd) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 10.0, sim::us(1));
+  ch.set_sink(&sink);
+  sim::Time done_at = -1;
+  ch.set_on_tx_done([&] { done_at = sim.now(); });
+  auto f = make_frame(1500);
+  const sim::Time ser = sim::serialization_time(f->wire_bytes(), 10.0);
+  ch.send(f);
+  sim.run();
+  EXPECT_EQ(done_at, ser);                          // sender frees early...
+  EXPECT_EQ(sink.arrival_times[0], ser + sim::us(1));  // ...receiver sees later
+}
+
+TEST(Channel, BackToBackFramesPreserveOrder) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500));
+  ch.set_sink(&sink);
+  int sent = 0;
+  std::function<void()> feed = [&] {
+    if (sent < 5) {
+      auto f = std::make_shared<Frame>();
+      f->payload.resize(100);
+      f->payload[0] = static_cast<std::byte>(sent);
+      ++sent;
+      ch.send(f);
+    }
+  };
+  ch.set_on_tx_done(feed);
+  feed();
+  sim.run();
+  ASSERT_EQ(sink.frames.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(static_cast<int>(sink.frames[i]->payload[0]), i);
+  }
+}
+
+TEST(Channel, DropProbabilityOneLosesEverything) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500));
+  ch.set_sink(&sink);
+  ch.faults().drop_prob = 1.0;
+  ch.send(make_frame(100));
+  sim.run();
+  EXPECT_TRUE(sink.frames.empty());
+  EXPECT_EQ(ch.stats().frames_dropped, 1u);
+  EXPECT_EQ(ch.stats().frames_sent, 1u);
+}
+
+TEST(Channel, CorruptionSetsFcsBad) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500));
+  ch.set_sink(&sink);
+  ch.faults().corrupt_prob = 1.0;
+  ch.send(make_frame(100));
+  sim.run();
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_TRUE(sink.frames[0]->fcs_bad);
+  EXPECT_EQ(ch.stats().frames_corrupted, 1u);
+}
+
+TEST(Channel, OutageWindowDropsFramesOnlyDuringWindow) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(0));
+  ch.set_sink(&sink);
+  ch.faults().outages.push_back({sim::us(10), sim::us(20)});
+
+  // One frame before, one during, one after the outage.
+  sim.at(sim::us(1), [&] { ch.send(make_frame(64)); });
+  sim.at(sim::us(15), [&] { ch.send(make_frame(64)); });
+  sim.at(sim::us(25), [&] { ch.send(make_frame(64)); });
+  sim.run();
+  EXPECT_EQ(sink.frames.size(), 2u);
+  EXPECT_EQ(ch.stats().frames_dropped, 1u);
+}
+
+TEST(Channel, StatsCountWireBytes) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(0));
+  ch.set_sink(&sink);
+  auto f = make_frame(1500);
+  ch.send(f);
+  sim.run();
+  EXPECT_EQ(ch.stats().bytes_sent, f->wire_bytes());
+}
+
+TEST(Channel, TenGigIsTenTimesFaster) {
+  sim::Simulator sim;
+  CollectorSink s1(sim), s10(sim);
+  Channel ch1(sim, 1.0, sim::ns(0));
+  Channel ch10(sim, 10.0, sim::ns(0));
+  ch1.set_sink(&s1);
+  ch10.set_sink(&s10);
+  ch1.send(make_frame(1500));
+  ch10.send(make_frame(1500));
+  sim.run();
+  EXPECT_EQ(s1.arrival_times[0], 10 * s10.arrival_times[0]);
+}
+
+}  // namespace
+}  // namespace multiedge::net

@@ -1,0 +1,56 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace multiedge::net {
+namespace {
+
+TEST(MacAddr, ForNicIsUniquePerNodeAndNic) {
+  EXPECT_EQ(MacAddr::for_nic(1, 0), MacAddr::for_nic(1, 0));
+  EXPECT_NE(MacAddr::for_nic(1, 0), MacAddr::for_nic(1, 1));
+  EXPECT_NE(MacAddr::for_nic(1, 0), MacAddr::for_nic(2, 0));
+}
+
+TEST(MacAddr, ToStringFormat) {
+  EXPECT_EQ(MacAddr::for_nic(3, 1).to_string(), "02:4d:45:00:03:01");
+}
+
+TEST(MacAddr, OrderingIsTotal) {
+  const auto a = MacAddr::for_nic(0, 0);
+  const auto b = MacAddr::for_nic(0, 1);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(Frame, WireBytesIncludesOverheads) {
+  Frame f;
+  f.payload.resize(1000);
+  // 14 header + 1000 + 4 FCS + 20 preamble/IFG.
+  EXPECT_EQ(f.wire_bytes(), 1038u);
+}
+
+TEST(Frame, MinimumFramePadding) {
+  Frame f;
+  f.payload.resize(1);  // padded to 46-byte minimum payload
+  EXPECT_EQ(f.wire_bytes(), Frame::kHeaderBytes + Frame::kMinPayload +
+                                Frame::kFcsBytes + Frame::kPreambleIfgBytes);
+}
+
+TEST(Frame, FullMtuFrameGoodputMatchesLineRateStory) {
+  Frame f;
+  f.payload.resize(Frame::kMtu);
+  // 1538 wire bytes carry 1500 payload bytes: ~97.5% efficiency, i.e.
+  // ~121.9 MB/s of payload on a 1-GBit/s link — the paper's "~120 MB/s".
+  const double efficiency =
+      static_cast<double>(Frame::kMtu) / static_cast<double>(f.wire_bytes());
+  EXPECT_NEAR(efficiency, 0.975, 0.001);
+}
+
+TEST(Frame, DefaultEthertypeIsMultiEdge) {
+  Frame f;
+  EXPECT_EQ(f.ethertype, Frame::kEthertypeMultiEdge);
+  EXPECT_FALSE(f.fcs_bad);
+}
+
+}  // namespace
+}  // namespace multiedge::net

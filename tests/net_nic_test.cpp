@@ -1,0 +1,202 @@
+#include "net/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace multiedge::net {
+namespace {
+
+FramePtr make_frame(MacAddr dst, std::size_t bytes = 100) {
+  auto f = std::make_shared<Frame>();
+  f->dst = dst;
+  f->payload.resize(bytes);
+  return f;
+}
+
+// A NIC pair wired back-to-back through two channels (no switch).
+struct NicPair {
+  explicit NicPair(sim::Simulator& sim, NicConfig cfg = broadcom_tg3_config())
+      : a(sim, cfg, MacAddr::for_nic(0, 0)),
+        b(sim, cfg, MacAddr::for_nic(1, 0)),
+        ab(sim, cfg.gbps, sim::ns(500)),
+        ba(sim, cfg.gbps, sim::ns(500)) {
+    ab.set_sink(&b);
+    ba.set_sink(&a);
+    a.attach_tx(&ab);
+    b.attach_tx(&ba);
+  }
+  Nic a, b;
+  Channel ab, ba;
+};
+
+TEST(Nic, TransmitsAndReceives) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  pair.a.tx(make_frame(pair.b.mac(), 200));
+  sim.run();
+  EXPECT_EQ(pair.b.rx_pending(), 1u);
+  auto f = pair.b.rx_pop();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->payload.size(), 200u);
+  EXPECT_EQ(pair.b.rx_pop(), nullptr);
+}
+
+TEST(Nic, RxRaisesInterruptWhenEnabled) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  int irqs = 0;
+  pair.b.set_irq_handler([&] { ++irqs; });
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(pair.b.stats().interrupts, 1u);
+}
+
+TEST(Nic, MaskedInterruptsDoNotFire) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  int irqs = 0;
+  pair.b.set_irq_handler([&] { ++irqs; });
+  pair.b.set_irq_enabled(false);
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(irqs, 0);
+  EXPECT_EQ(pair.b.rx_pending(), 1u);  // frame still arrived
+}
+
+TEST(Nic, UnmaskWithPendingEventsRaisesImmediately) {
+  sim::Simulator sim;
+  NicConfig cfg = broadcom_tg3_config();
+  cfg.irq_coalesce_frames = 1;  // no moderation: immediate interrupts
+  NicPair pair(sim, cfg);
+  int irqs = 0;
+  pair.b.set_irq_handler([&] { ++irqs; });
+  pair.b.set_irq_enabled(false);
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(irqs, 0);
+  pair.b.set_irq_enabled(true);  // level-triggered semantics
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST(Nic, ModerationCoalescesBursts) {
+  sim::Simulator sim;
+  NicPair pair(sim);  // tg3: 8 frames / 18us moderation
+  int irqs = 0;
+  pair.b.set_irq_handler([&] { ++irqs; });
+  for (int i = 0; i < 16; ++i) pair.a.tx(make_frame(pair.b.mac(), 1500));
+  sim.run();
+  // 16 back-to-back frames arrive ~12us apart: the 18us timer and 8-frame
+  // threshold bound the interrupt count well below one per frame.
+  EXPECT_GE(irqs, 2);
+  EXPECT_LE(irqs, 12);
+  EXPECT_EQ(pair.b.rx_pending(), 16u);
+}
+
+TEST(Nic, ModerationTimerFiresForIsolatedFrame) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  std::vector<sim::Time> irq_times;
+  pair.b.set_irq_handler([&] { irq_times.push_back(sim.now()); });
+  pair.a.tx(make_frame(pair.b.mac(), 64));
+  sim.run();
+  ASSERT_EQ(irq_times.size(), 1u);
+  // The interrupt is delayed by the moderation window (18us for tg3).
+  EXPECT_GT(irq_times[0], sim::us(18));
+  EXPECT_LT(irq_times[0], sim::us(25));
+}
+
+TEST(Nic, TxCompletionsAreReaped) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  pair.a.set_irq_enabled(false);
+  pair.a.tx(make_frame(pair.b.mac()));
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(pair.a.take_tx_completions(), 2u);
+  EXPECT_EQ(pair.a.take_tx_completions(), 0u);
+}
+
+TEST(Nic, TxRingFullRejectsFrames) {
+  sim::Simulator sim;
+  NicConfig cfg = broadcom_tg3_config();
+  cfg.tx_ring_slots = 4;
+  NicPair pair(sim, cfg);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pair.a.tx(make_frame(pair.b.mac(), 1500))) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  sim.run();
+  EXPECT_EQ(pair.b.rx_pending(), 4u);
+}
+
+TEST(Nic, RxRingOverflowDropsAndCounts) {
+  sim::Simulator sim;
+  NicConfig cfg = broadcom_tg3_config();
+  cfg.rx_ring_slots = 2;
+  NicPair pair(sim, cfg);
+  for (int i = 0; i < 5; ++i) pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(pair.b.rx_pending(), 2u);
+  EXPECT_EQ(pair.b.stats().rx_ring_drops, 3u);
+}
+
+TEST(Nic, FcsBadFramesNeverReachHost) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  pair.ab.faults().corrupt_prob = 1.0;
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(pair.b.rx_pending(), 0u);
+  EXPECT_EQ(pair.b.stats().rx_fcs_drops, 1u);
+}
+
+TEST(Nic, UnmaskableTxIrqFiresEvenWhenMasked) {
+  sim::Simulator sim;
+  NicPair pair(sim, myricom_10g_config());
+  int irqs = 0;
+  pair.a.set_irq_handler([&] { ++irqs; });
+  pair.a.set_irq_enabled(false);
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(irqs, 1);  // the 10G quirk: send completions always interrupt
+}
+
+TEST(Nic, MaskableTxIrqRespectsMask) {
+  sim::Simulator sim;
+  NicPair pair(sim, broadcom_tg3_config());
+  int irqs = 0;
+  pair.a.set_irq_handler([&] { ++irqs; });
+  pair.a.set_irq_enabled(false);
+  pair.a.tx(make_frame(pair.b.mac()));
+  sim.run();
+  EXPECT_EQ(irqs, 0);
+}
+
+TEST(Nic, BackToBackTxKeepsFifoOrder) {
+  sim::Simulator sim;
+  NicPair pair(sim);
+  for (int i = 0; i < 8; ++i) {
+    auto f = std::make_shared<Frame>();
+    f->dst = pair.b.mac();
+    f->payload.resize(64);
+    f->payload[0] = static_cast<std::byte>(i);
+    pair.a.tx(std::move(f));
+  }
+  sim.run();
+  for (int i = 0; i < 8; ++i) {
+    auto f = pair.b.rx_pop();
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(static_cast<int>(f->payload[0]), i);
+  }
+}
+
+}  // namespace
+}  // namespace multiedge::net

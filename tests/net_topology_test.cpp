@@ -1,0 +1,103 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace multiedge::net {
+namespace {
+
+FramePtr addressed(MacAddr src, MacAddr dst, std::size_t bytes = 128) {
+  auto f = std::make_shared<Frame>();
+  f->src = src;
+  f->dst = dst;
+  f->payload.resize(bytes);
+  return f;
+}
+
+TEST(Topology, BuildsRequestedShape) {
+  sim::Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.rails = 2;
+  Network net(sim, cfg);
+  EXPECT_EQ(net.num_nodes(), 4);
+  EXPECT_EQ(net.rails(), 2);
+  EXPECT_EQ(net.rail_switch(0).num_ports(), 4u);
+  EXPECT_EQ(net.rail_switch(1).num_ports(), 4u);
+  EXPECT_NE(net.nic(0, 0).mac(), net.nic(0, 1).mac());
+}
+
+TEST(Topology, NicGbpsFollowsLinkSpec) {
+  sim::Simulator sim;
+  TopologyConfig cfg;
+  cfg.link.gbps = 10.0;
+  cfg.nic = myricom_10g_config();
+  Network net(sim, cfg);
+  EXPECT_DOUBLE_EQ(net.nic(0, 0).config().gbps, 10.0);
+}
+
+TEST(Topology, EndToEndDeliveryAcrossSwitch) {
+  sim::Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 3;
+  Network net(sim, cfg);
+  net.nic(0, 0).tx(addressed(net.nic(0, 0).mac(), net.nic(2, 0).mac()));
+  sim.run();
+  // First frame floods (unknown destination) but reaches node 2.
+  EXPECT_EQ(net.nic(2, 0).rx_pending(), 1u);
+}
+
+TEST(Topology, RailsAreIsolated) {
+  sim::Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.rails = 2;
+  Network net(sim, cfg);
+  net.nic(0, 0).tx(addressed(net.nic(0, 0).mac(), net.nic(1, 0).mac()));
+  sim.run();
+  EXPECT_EQ(net.nic(1, 0).rx_pending(), 1u);
+  EXPECT_EQ(net.nic(1, 1).rx_pending(), 0u);  // rail 1 never sees rail 0 traffic
+}
+
+TEST(Topology, FaultInjectionOnUplink) {
+  sim::Simulator sim;
+  TopologyConfig cfg;
+  cfg.num_nodes = 2;
+  Network net(sim, cfg);
+  net.uplink(0, 0).faults().drop_prob = 1.0;
+  net.nic(0, 0).tx(addressed(net.nic(0, 0).mac(), net.nic(1, 0).mac()));
+  sim.run();
+  EXPECT_EQ(net.nic(1, 0).rx_pending(), 0u);
+  EXPECT_EQ(net.uplink(0, 0).stats().frames_dropped, 1u);
+}
+
+TEST(Topology, PaperConfigurationsConstruct) {
+  sim::Simulator sim;
+  // 1L-1G: 16 nodes, one 1G rail.
+  TopologyConfig c1;
+  c1.num_nodes = 16;
+  c1.rails = 1;
+  c1.nic = broadcom_tg3_config();
+  Network n1(sim, c1);
+  EXPECT_EQ(n1.rail_switch(0).num_ports(), 16u);
+
+  // 2L-1G: 16 nodes, two 1G rails.
+  TopologyConfig c2 = c1;
+  c2.rails = 2;
+  Network n2(sim, c2);
+  EXPECT_EQ(n2.rails(), 2);
+
+  // 1L-10G: 4 nodes, one 10G rail with the Myricom quirk.
+  TopologyConfig c3;
+  c3.num_nodes = 4;
+  c3.link.gbps = 10.0;
+  c3.nic = myricom_10g_config();
+  Network n3(sim, c3);
+  EXPECT_FALSE(n3.nic(0, 0).config().tx_irq_maskable);
+}
+
+}  // namespace
+}  // namespace multiedge::net

@@ -1,0 +1,209 @@
+// Ordering semantics (§2.5): by default operations and frames reorder freely
+// in out-of-order mode; backward/forward fences impose exactly the ordering
+// the API promises. These tests force extreme reordering (a stalled rail) and
+// check apply-order at the receiver.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace multiedge {
+namespace {
+
+// Two-rail out-of-order cluster where rail 1 is blacked out for the first
+// `stall` of simulated time: frames striped onto rail 1 are lost and arrive
+// much later via NACK-triggered retransmission, guaranteeing heavy reorder.
+ClusterConfig reorder_prone_config() {
+  ClusterConfig cfg = config_2lu_1g(2);
+  cfg.protocol.nack_frame_threshold = 4;
+  return cfg;
+}
+
+// Observe the order in which single-frame ops land in receiver memory by
+// having each op be one byte and polling memory every microsecond.
+struct ApplyOrderProbe {
+  std::vector<int> order;   // op index in the order it became visible
+  std::vector<bool> seen;
+  void sample(const proto::MemorySpace& mem, std::uint64_t base, int n) {
+    for (int i = 0; i < n; ++i) {
+      if (!seen[i] && mem.view(base + i, 1)[0] != std::byte{0}) {
+        seen[i] = true;
+        order.push_back(i);
+      }
+    }
+  }
+};
+
+TEST(Fence, UnfencedOpsReorderUnderRailStall) {
+  ClusterConfig cfg = reorder_prone_config();
+  Cluster cluster(cfg);
+  const int kOps = 16;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+  // Rail 1 dead for 2 ms: roughly every second op is delayed.
+  cluster.network().uplink(0, 1).faults().outages.push_back({0, sim::ms(2)});
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps, false);
+  for (int t = 1; t < 20000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps);
+    });
+  }
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    for (int i = 0; i < kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps));
+  // Without fences the rail-0 ops must have overtaken the stalled rail-1 ops.
+  bool any_reorder = false;
+  for (std::size_t i = 1; i < probe.order.size(); ++i) {
+    if (probe.order[i] < probe.order[i - 1]) any_reorder = true;
+  }
+  EXPECT_TRUE(any_reorder);
+}
+
+TEST(Fence, BackwardFenceWaitsForAllPriorOps) {
+  ClusterConfig cfg = reorder_prone_config();
+  Cluster cluster(cfg);
+  const int kOps = 8;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps + 1);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps + 1);
+  for (int i = 0; i <= kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+  cluster.network().uplink(0, 1).faults().outages.push_back({0, sim::ms(2)});
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps + 1, false);
+  for (int t = 1; t < 20000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps + 1);
+    });
+  }
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    for (int i = 0; i < kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    // The fenced op must land strictly after ops 0..kOps-1.
+    hs.push_back(c.rdma_write(dst + kOps, src + kOps, 1, kOpFlagBackwardFence));
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
+  EXPECT_EQ(probe.order.back(), kOps)
+      << "backward-fenced op became visible before some earlier op";
+}
+
+TEST(Fence, ForwardFenceBlocksAllLaterOps) {
+  ClusterConfig cfg = reorder_prone_config();
+  Cluster cluster(cfg);
+  const int kOps = 8;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps + 1);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps + 1);
+  for (int i = 0; i <= kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+  // Stall rail 0 so the *first* (forward-fenced) op is the delayed one; all
+  // later ops would otherwise arrive first.
+  cluster.network().uplink(0, 0).faults().outages.push_back(
+      {sim::us(400), sim::ms(2)});
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps + 1, false);
+  for (int t = 1; t < 20000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps + 1);
+    });
+  }
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    // Give the outage a chance to start after the handshake finished.
+    ep.compute(sim::us(500));
+    std::vector<OpHandle> hs;
+    hs.push_back(c.rdma_write(dst + 0, src + 0, 1, kOpFlagForwardFence));
+    for (int i = 1; i <= kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
+  EXPECT_EQ(probe.order.front(), 0)
+      << "an op issued after the forward fence became visible first";
+}
+
+TEST(Fence, InOrderModeAlwaysAppliesInIssueOrder) {
+  ClusterConfig cfg = config_2l_1g(2);  // strict ordering
+  Cluster cluster(cfg);
+  const int kOps = 12;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+  cluster.network().uplink(0, 1).faults().outages.push_back({0, sim::ms(2)});
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps, false);
+  for (int t = 1; t < 20000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps);
+    });
+  }
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    for (int i = 0; i < kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(probe.order[i], i);
+}
+
+TEST(Fence, FencesAreNoOpsOnSingleLink) {
+  Cluster cluster(config_1l_1g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(256);
+  const std::uint64_t dst = cluster.memory(1).alloc(256);
+  for (int i = 0; i < 256; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i);
+  }
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    c.rdma_write(dst, src, 64, kOpFlagForwardFence).wait();
+    c.rdma_write(dst + 64, src + 64, 64, kOpFlagBackwardFence).wait();
+    c.rdma_write(dst + 128, src + 128, 128,
+                 static_cast<std::uint16_t>(kOpFlagForwardFence |
+                                            kOpFlagBackwardFence))
+        .wait();
+  });
+  cluster.run();
+  auto got = cluster.memory(1).view(dst, 256);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(got[i], static_cast<std::byte>(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace multiedge

@@ -1,0 +1,252 @@
+// End-to-end tests of the MultiEdge protocol through the public API:
+// connection setup, remote writes/reads, notifications, completion
+// semantics, and fragmentation across configurations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/api.hpp"
+
+namespace multiedge {
+namespace {
+
+void fill_pattern(proto::MemorySpace& mem, std::uint64_t va, std::size_t n,
+                  std::uint8_t seed) {
+  auto span = mem.view_mut(va, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    span[i] = static_cast<std::byte>((seed + i * 131) & 0xff);
+  }
+}
+
+bool check_pattern(const proto::MemorySpace& mem, std::uint64_t va,
+                   std::size_t n, std::uint8_t seed) {
+  auto span = mem.view(va, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (span[i] != static_cast<std::byte>((seed + i * 131) & 0xff)) return false;
+  }
+  return true;
+}
+
+TEST(Rdma, ConnectEstablishesBothSides) {
+  Cluster cluster(config_1l_1g(2));
+  bool connected = false;
+  cluster.spawn(0, "client", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    EXPECT_EQ(c.peer(), 1);
+    connected = true;
+  });
+  cluster.spawn(1, "server", [&](Endpoint& ep) {
+    Connection c = ep.accept(0);
+    EXPECT_EQ(c.peer(), 0);
+  });
+  cluster.run();
+  EXPECT_TRUE(connected);
+}
+
+TEST(Rdma, SmallWriteDeliversDataAndNotification) {
+  Cluster cluster(config_1l_1g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(64);
+  const std::uint64_t dst = cluster.memory(1).alloc(64);
+  fill_pattern(cluster.memory(0), src, 64, 7);
+
+  cluster.spawn(0, "writer", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    OpHandle h = c.rdma_write(dst, src, 64, kOpFlagNotify);
+    h.wait();
+    EXPECT_TRUE(h.test());
+  });
+  bool notified = false;
+  cluster.spawn(1, "receiver", [&](Endpoint& ep) {
+    Notification n = ep.wait_notification();
+    EXPECT_EQ(n.src_node, 0);
+    EXPECT_EQ(n.va, dst);
+    EXPECT_EQ(n.size, 64u);
+    notified = true;
+  });
+  cluster.run();
+  EXPECT_TRUE(notified);
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, 64, 7));
+}
+
+TEST(Rdma, LargeWriteFragmentsAndReassembles) {
+  Cluster cluster(config_1l_1g(2));
+  constexpr std::size_t kSize = 1 << 20;  // 1 MiB -> ~735 frames
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 42);
+
+  cluster.spawn(0, "writer", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    c.rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "receiver", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 42));
+
+  // Fragmentation actually happened and the window forced multiple rounds.
+  const auto& c = cluster.engine(0).aggregate_counters();
+  EXPECT_GE(c.get("data_frames_sent"),
+            kSize / proto::WireHeader::kMaxData);
+}
+
+TEST(Rdma, RemoteReadFetchesData) {
+  Cluster cluster(config_1l_1g(2));
+  constexpr std::size_t kSize = 10000;
+  const std::uint64_t remote_src = cluster.memory(1).alloc(kSize);
+  const std::uint64_t local_dst = cluster.memory(0).alloc(kSize);
+  fill_pattern(cluster.memory(1), remote_src, kSize, 99);
+
+  cluster.spawn(0, "reader", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    OpHandle h = c.rdma_read(local_dst, remote_src, kSize);
+    EXPECT_FALSE(h.test());
+    h.wait();
+    EXPECT_TRUE(h.test());
+    EXPECT_TRUE(check_pattern(ep.memory(), local_dst, kSize, 99));
+  });
+  cluster.run();
+}
+
+TEST(Rdma, WriteCompletionMeansAcked) {
+  Cluster cluster(config_1l_1g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(4096);
+  const std::uint64_t dst = cluster.memory(1).alloc(4096);
+
+  cluster.spawn(0, "writer", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    c.rdma_write(dst, src, 4096).wait();
+    // All frames acknowledged: the window is fully open again.
+    EXPECT_EQ(c.protocol_connection()->snd_una(),
+              c.protocol_connection()->snd_nxt());
+  });
+  cluster.run();
+}
+
+TEST(Rdma, ManySmallOpsAllComplete) {
+  Cluster cluster(config_1l_1g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(64 * 128);
+  const std::uint64_t dst = cluster.memory(1).alloc(64 * 128);
+  fill_pattern(cluster.memory(0), src, 64 * 128, 3);
+
+  cluster.spawn(0, "writer", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    for (int i = 0; i < 128; ++i) {
+      hs.push_back(c.rdma_write(dst + i * 64, src + i * 64, 64));
+    }
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, 64 * 128, 3));
+}
+
+TEST(Rdma, BidirectionalTrafficOnOneConnection) {
+  Cluster cluster(config_1l_1g(2));
+  constexpr std::size_t kSize = 100000;
+  const std::uint64_t a_src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t a_dst = cluster.memory(0).alloc(kSize);
+  const std::uint64_t b_src = cluster.memory(1).alloc(kSize);
+  const std::uint64_t b_dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), a_src, kSize, 1);
+  fill_pattern(cluster.memory(1), b_src, kSize, 2);
+
+  cluster.spawn(0, "a", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    OpHandle h = c.rdma_write(b_dst, a_src, kSize, kOpFlagNotify);
+    ep.wait_notification();  // from node 1's write
+    h.wait();
+  });
+  cluster.spawn(1, "b", [&](Endpoint& ep) {
+    Connection c = ep.accept(0);
+    OpHandle h = c.rdma_write(a_dst, b_src, kSize, kOpFlagNotify);
+    ep.wait_notification();
+    h.wait();
+  });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), b_dst, kSize, 1));
+  EXPECT_TRUE(check_pattern(cluster.memory(0), a_dst, kSize, 2));
+}
+
+TEST(Rdma, TenGigClusterWorks) {
+  Cluster cluster(config_1l_10g(2));
+  constexpr std::size_t kSize = 300000;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 17);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 17));
+}
+
+TEST(Rdma, MultiLinkStripesAcrossBothRails) {
+  Cluster cluster(config_2l_1g(2));
+  constexpr std::size_t kSize = 1 << 19;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 23);
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    EXPECT_EQ(c.num_links(), 2u);
+    c.rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 23));
+
+  // Round-robin striping: both NICs carried roughly half the data frames.
+  const auto& s0 = cluster.network().nic(0, 0).stats();
+  const auto& s1 = cluster.network().nic(0, 1).stats();
+  EXPECT_GT(s0.tx_frames, 100u);
+  EXPECT_GT(s1.tx_frames, 100u);
+  const double ratio = static_cast<double>(s0.tx_frames) /
+                       static_cast<double>(s1.tx_frames);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Rdma, OutOfOrderModeDeliversCorrectly) {
+  Cluster cluster(config_2lu_1g(2));
+  constexpr std::size_t kSize = 1 << 19;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 29);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 29));
+}
+
+TEST(Rdma, SixteenNodeMeshConnects) {
+  Cluster cluster(config_1l_1g(16));
+  cluster.connect_all_mesh();
+  // Every node initiated 15 connections and answered 15.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(cluster.engine(i).connections().size(), 30u) << i;
+  }
+}
+
+TEST(Rdma, HostOverheadIsAboutTwoMicroseconds) {
+  // §4: "minimum host overhead is about 2us" to initiate an operation.
+  Cluster cluster(config_1l_10g(2));
+  const std::uint64_t src = cluster.memory(0).alloc(64);
+  const std::uint64_t dst = cluster.memory(1).alloc(64);
+  sim::Time overhead = 0;
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    const sim::Time t0 = ep.cluster().sim().now();
+    c.rdma_write(dst, src, 64);
+    overhead = ep.cluster().sim().now() - t0;
+  });
+  cluster.run();
+  EXPECT_GT(sim::to_us(overhead), 1.0);
+  EXPECT_LT(sim::to_us(overhead), 4.0);
+}
+
+}  // namespace
+}  // namespace multiedge

@@ -1,0 +1,108 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multiedge::sim {
+namespace {
+
+TEST(Cpu, SubmitSerializesWork) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  std::vector<Time> done_at;
+  cpu.submit(us(10), [&] { done_at.push_back(sim.now()); });
+  cpu.submit(us(5), [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(done_at, (std::vector<Time>{us(10), us(15)}));
+  EXPECT_EQ(cpu.busy_time(), us(15));
+}
+
+TEST(Cpu, SubmitAfterIdleStartsImmediately) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  Time done_at = -1;
+  sim.in(us(100), [&] { cpu.submit(us(3), [&] { done_at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done_at, us(103));
+  EXPECT_EQ(cpu.busy_time(), us(3));
+}
+
+TEST(Cpu, ConsumeBlocksFiberForCost) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  Time after = -1;
+  Process p(sim, "p", [&] {
+    cpu.consume(us(25));
+    after = sim.now();
+  });
+  p.start();
+  sim.run();
+  EXPECT_EQ(after, us(25));
+}
+
+TEST(Cpu, ConsumeWaitsForSubmittedBacklog) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  Time after = -1;
+  cpu.submit(us(40), [] {});
+  Process p(sim, "p", [&] {
+    cpu.consume(us(10));
+    after = sim.now();
+  });
+  p.start();
+  sim.run();
+  EXPECT_EQ(after, us(50));
+}
+
+TEST(Cpu, TwoFibersShareTheCore) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  std::vector<Time> done;
+  Process a(sim, "a", [&] {
+    cpu.consume(us(10));
+    done.push_back(sim.now());
+  });
+  Process b(sim, "b", [&] {
+    cpu.consume(us(10));
+    done.push_back(sim.now());
+  });
+  a.start();
+  b.start();
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], us(10));
+  EXPECT_EQ(done[1], us(20));
+  EXPECT_EQ(cpu.busy_time(), us(20));
+}
+
+TEST(Cpu, UtilizationWithinWindow) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  cpu.reset_window();
+  cpu.submit(us(30), [] {});
+  sim.run_until(us(100));
+  EXPECT_NEAR(cpu.utilization(), 0.3, 1e-9);
+}
+
+TEST(Cpu, UtilizationResetsWithWindow) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  cpu.submit(us(50), [] {});
+  sim.run_until(us(50));
+  cpu.reset_window();
+  sim.run_until(us(150));
+  EXPECT_NEAR(cpu.utilization(), 0.0, 1e-9);
+}
+
+TEST(Cpu, ChargeAccumulatesBusyTime) {
+  Simulator sim;
+  Cpu cpu(sim, "cpu0");
+  cpu.charge(us(7));
+  cpu.charge(us(3));
+  EXPECT_EQ(cpu.busy_time(), us(10));
+  EXPECT_EQ(cpu.free_at(), us(10));
+}
+
+}  // namespace
+}  // namespace multiedge::sim

@@ -1,0 +1,85 @@
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multiedge::sim {
+namespace {
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.done());
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksExecutingFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f([&] { seen = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, LocalStateSurvivesYield) {
+  int out = 0;
+  Fiber f([&] {
+    int local = 7;
+    Fiber::yield();
+    local *= 6;
+    out = local;
+  });
+  f.resume();
+  f.resume();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 32;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  std::vector<int> counts(kFibers, 0);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&counts, i] {
+      for (int step = 0; step < 3; ++step) {
+        ++counts[i];
+        Fiber::yield();
+      }
+    }));
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto& f : fibers) {
+      if (!f->done()) f->resume();
+    }
+  }
+  for (int i = 0; i < kFibers; ++i) EXPECT_EQ(counts[i], 3) << i;
+}
+
+TEST(Fiber, UnstartedFiberDestructsSafely) {
+  Fiber f([] { FAIL() << "body must not run"; });
+  // Destructor of an unstarted fiber must not execute the body.
+}
+
+}  // namespace
+}  // namespace multiedge::sim

@@ -1,0 +1,168 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/wait_queue.hpp"
+
+namespace multiedge::sim {
+namespace {
+
+TEST(Process, DelayAdvancesSimulatedTime) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  Process p(sim, "p", [&] {
+    stamps.push_back(sim.now());
+    Process::current()->delay(us(10));
+    stamps.push_back(sim.now());
+    Process::current()->delay(us(5));
+    stamps.push_back(sim.now());
+  });
+  p.start();
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(stamps, (std::vector<Time>{0, us(10), us(15)}));
+}
+
+TEST(Process, SuspendBlocksUntilWake) {
+  Simulator sim;
+  Time resumed_at = -1;
+  Process p(sim, "p", [&] {
+    Process::current()->suspend();
+    resumed_at = sim.now();
+  });
+  p.start();
+  sim.in(us(30), [&] { p.wake(); });
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(resumed_at, us(30));
+}
+
+TEST(Process, WakeOnNonSuspendedIsNoOp) {
+  Simulator sim;
+  int steps = 0;
+  Process p(sim, "p", [&] {
+    ++steps;
+    Process::current()->delay(us(10));
+    ++steps;
+  });
+  p.start();
+  // Waking mid-delay must not shorten the delay.
+  sim.in(us(2), [&] { p.wake(); });
+  sim.run();
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(sim.now(), us(10));
+}
+
+TEST(Process, StaleDelayEventCannotWakeLaterBlock) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  Process p(sim, "p", [&] {
+    Process* self = Process::current();
+    self->suspend();             // woken at 5us by the event below
+    stamps.push_back(sim.now());
+    self->delay(us(100));        // must sleep the full 100us
+    stamps.push_back(sim.now());
+  });
+  p.start();
+  sim.in(us(5), [&] { p.wake(); });
+  sim.run();
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], us(5));
+  EXPECT_EQ(stamps[1], us(105));
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> log;
+  Process a(sim, "a", [&] {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("a" + std::to_string(i));
+      Process::current()->delay(us(10));
+    }
+  });
+  Process b(sim, "b", [&] {
+    for (int i = 0; i < 3; ++i) {
+      log.push_back("b" + std::to_string(i));
+      Process::current()->delay(us(10));
+    }
+  });
+  a.start();
+  b.start();
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2", "b2"}));
+}
+
+TEST(Process, CurrentIsNullOutsideFibers) {
+  EXPECT_EQ(Process::current(), nullptr);
+}
+
+TEST(WaitQueue, NotifyOneWakesFifo) {
+  Simulator sim;
+  WaitQueue q;
+  std::vector<int> woken;
+  Process p1(sim, "p1", [&] {
+    q.wait();
+    woken.push_back(1);
+  });
+  Process p2(sim, "p2", [&] {
+    q.wait();
+    woken.push_back(2);
+  });
+  p1.start();
+  p2.start();
+  sim.in(us(1), [&] { q.notify_one(); });
+  sim.in(us(2), [&] { q.notify_one(); });
+  sim.run();
+  EXPECT_EQ(woken, (std::vector<int>{1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryWaiter) {
+  Simulator sim;
+  WaitQueue q;
+  int woken = 0;
+  std::vector<std::unique_ptr<Process>> ps;
+  for (int i = 0; i < 8; ++i) {
+    ps.push_back(std::make_unique<Process>(sim, "p", [&] {
+      q.wait();
+      ++woken;
+    }));
+    ps.back()->start();
+  }
+  sim.in(us(1), [&] { q.notify_all(); });
+  sim.run();
+  EXPECT_EQ(woken, 8);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, NotifyOnEmptyQueueIsSafe) {
+  Simulator sim;
+  WaitQueue q;
+  q.notify_one();
+  q.notify_all();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, MesaStyleConditionLoop) {
+  Simulator sim;
+  WaitQueue q;
+  bool cond = false;
+  Time observed = -1;
+  Process waiter(sim, "waiter", [&] {
+    while (!cond) q.wait();
+    observed = sim.now();
+  });
+  waiter.start();
+  // A notify without the condition being true must not release the waiter.
+  sim.in(us(1), [&] { q.notify_all(); });
+  sim.in(us(10), [&] {
+    cond = true;
+    q.notify_all();
+  });
+  sim.run();
+  EXPECT_EQ(observed, us(10));
+}
+
+}  // namespace
+}  // namespace multiedge::sim

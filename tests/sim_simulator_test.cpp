@@ -1,0 +1,172 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/timer.hpp"
+
+namespace multiedge::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.in(us(30), [&] { order.push_back(3); });
+  sim.in(us(10), [&] { order.push_back(1); });
+  sim.in(us(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), us(30));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.at(us(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  Time seen = -1;
+  sim.in(us(10), [&] {
+    sim.at(us(3), [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, us(10));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.in(ns(1), chain);
+  };
+  sim.in(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), ns(99));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(us(10), [&] { ++fired; });
+  sim.at(us(20), [&] { ++fired; });
+  sim.at(us(21), [&] { ++fired; });
+  sim.run_until(us(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), us(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(ms(5));
+  EXPECT_EQ(sim.now(), ms(5));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.in(us(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.in(us(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.in(us(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(us(10));
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.deadline(), us(10));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(us(10));
+  sim.in(us(5), [&] { t.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmSupersedesPreviousSchedule) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now()); });
+  t.schedule(us(10));
+  sim.in(us(5), [&] { t.schedule(us(20)); });  // now fires at 25us
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], us(25));
+}
+
+TEST(Timer, ScheduleIfIdleDoesNotRearm) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now()); });
+  t.schedule(us(10));
+  t.schedule_if_idle(us(100));
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], us(10));
+}
+
+TEST(Timer, ReusableAfterFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(us(1));
+  sim.run();
+  t.schedule(us(1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimeHelpers, UnitConversions) {
+  EXPECT_EQ(us(1), ns(1000));
+  EXPECT_EQ(ms(1), us(1000));
+  EXPECT_EQ(sec(1), ms(1000));
+  EXPECT_DOUBLE_EQ(to_us(us(42)), 42.0);
+  EXPECT_EQ(us_d(1.5), ns(1500));
+}
+
+TEST(TimeHelpers, SerializationTime) {
+  // 1500 bytes at 1 Gbps = 12000 ns.
+  EXPECT_EQ(serialization_time(1500, 1.0), ns(12000));
+  // Same payload at 10 Gbps is 10x faster.
+  EXPECT_EQ(serialization_time(1500, 10.0), ns(1200));
+}
+
+}  // namespace
+}  // namespace multiedge::sim

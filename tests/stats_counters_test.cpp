@@ -1,0 +1,54 @@
+#include "stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace multiedge::stats {
+namespace {
+
+TEST(Counters, AddAndGet) {
+  Counters c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+}
+
+TEST(Counters, MergeAccumulates) {
+  Counters a, b;
+  a.add("x", 2);
+  b.add("x", 3);
+  b.add("y", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Counters, DiffProducesPerPhaseDeltas) {
+  Counters base;
+  base.add("frames", 100);
+  Counters now = base;
+  now.add("frames", 50);
+  now.add("drops", 2);
+  Counters d = now.diff(base);
+  EXPECT_EQ(d.get("frames"), 50u);
+  EXPECT_EQ(d.get("drops"), 2u);
+}
+
+TEST(Counters, DiffIgnoresNonIncreasing) {
+  Counters base;
+  base.add("x", 10);
+  Counters now;  // "x" absent: treated as no increase
+  Counters d = now.diff(base);
+  EXPECT_EQ(d.get("x"), 0u);
+  EXPECT_TRUE(d.all().empty());
+}
+
+TEST(Counters, ClearEmpties) {
+  Counters c;
+  c.add("x");
+  c.clear();
+  EXPECT_TRUE(c.all().empty());
+}
+
+}  // namespace
+}  // namespace multiedge::stats
