@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_micro.dir/fig2_micro.cpp.o"
+  "CMakeFiles/fig2_micro.dir/fig2_micro.cpp.o.d"
+  "fig2_micro"
+  "fig2_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_apps_1l1g.dir/fig3_apps_1l1g.cpp.o"
+  "CMakeFiles/fig3_apps_1l1g.dir/fig3_apps_1l1g.cpp.o.d"
+  "fig3_apps_1l1g"
+  "fig3_apps_1l1g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_apps_1l1g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_apps_1l1g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_apps_1l10g.dir/fig4_apps_1l10g.cpp.o"
+  "CMakeFiles/fig4_apps_1l10g.dir/fig4_apps_1l10g.cpp.o.d"
+  "fig4_apps_1l10g"
+  "fig4_apps_1l10g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_apps_1l10g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

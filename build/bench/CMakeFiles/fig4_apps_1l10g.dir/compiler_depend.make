@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_apps_1l10g.
+# This may be replaced when dependencies are built.

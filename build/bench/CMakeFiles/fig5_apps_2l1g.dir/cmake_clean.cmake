@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apps_2l1g.dir/fig5_apps_2l1g.cpp.o"
+  "CMakeFiles/fig5_apps_2l1g.dir/fig5_apps_2l1g.cpp.o.d"
+  "fig5_apps_2l1g"
+  "fig5_apps_2l1g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apps_2l1g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

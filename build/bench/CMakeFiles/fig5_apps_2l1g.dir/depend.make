@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_apps_2l1g.
+# This may be replaced when dependencies are built.

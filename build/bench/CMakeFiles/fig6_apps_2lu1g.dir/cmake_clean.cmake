@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_apps_2lu1g.dir/fig6_apps_2lu1g.cpp.o"
+  "CMakeFiles/fig6_apps_2lu1g.dir/fig6_apps_2lu1g.cpp.o.d"
+  "fig6_apps_2lu1g"
+  "fig6_apps_2lu1g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_apps_2lu1g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

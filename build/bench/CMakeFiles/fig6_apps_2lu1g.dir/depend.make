@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_apps_2lu1g.
+# This may be replaced when dependencies are built.

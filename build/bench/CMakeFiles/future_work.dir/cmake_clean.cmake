@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_work.dir/future_work.cpp.o"
+  "CMakeFiles/future_work.dir/future_work.cpp.o.d"
+  "future_work"
+  "future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_apps.dir/table1_apps.cpp.o"
+  "CMakeFiles/table1_apps.dir/table1_apps.cpp.o.d"
+  "table1_apps"
+  "table1_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

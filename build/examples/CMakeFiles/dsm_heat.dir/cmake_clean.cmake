@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_heat.dir/dsm_heat.cpp.o"
+  "CMakeFiles/dsm_heat.dir/dsm_heat.cpp.o.d"
+  "dsm_heat"
+  "dsm_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

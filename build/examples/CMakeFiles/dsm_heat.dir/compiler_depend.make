@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsm_heat.
+# This may be replaced when dependencies are built.

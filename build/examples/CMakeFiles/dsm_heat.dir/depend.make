@@ -1,0 +1,2 @@
+# Empty dependencies file for dsm_heat.
+# This may be replaced when dependencies are built.

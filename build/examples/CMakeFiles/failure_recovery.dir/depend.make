@@ -1,0 +1,2 @@
+# Empty dependencies file for failure_recovery.
+# This may be replaced when dependencies are built.

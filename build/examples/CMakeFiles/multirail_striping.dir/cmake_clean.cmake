@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirail_striping.dir/multirail_striping.cpp.o"
+  "CMakeFiles/multirail_striping.dir/multirail_striping.cpp.o.d"
+  "multirail_striping"
+  "multirail_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirail_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cpp" "src/apps/CMakeFiles/me_apps.dir/barnes.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/barnes.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/me_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/harness.cpp" "src/apps/CMakeFiles/me_apps.dir/harness.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/harness.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/me_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/apps/CMakeFiles/me_apps.dir/radix.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/radix.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/apps/CMakeFiles/me_apps.dir/raytrace.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/raytrace.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/me_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/water_nsq.cpp" "src/apps/CMakeFiles/me_apps.dir/water_nsq.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/water_nsq.cpp.o.d"
+  "/root/repo/src/apps/water_spatial.cpp" "src/apps/CMakeFiles/me_apps.dir/water_spatial.cpp.o" "gcc" "src/apps/CMakeFiles/me_apps.dir/water_spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/me_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/me_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/me_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/me_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_apps.dir/barnes.cpp.o"
+  "CMakeFiles/me_apps.dir/barnes.cpp.o.d"
+  "CMakeFiles/me_apps.dir/fft.cpp.o"
+  "CMakeFiles/me_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/me_apps.dir/harness.cpp.o"
+  "CMakeFiles/me_apps.dir/harness.cpp.o.d"
+  "CMakeFiles/me_apps.dir/lu.cpp.o"
+  "CMakeFiles/me_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/me_apps.dir/radix.cpp.o"
+  "CMakeFiles/me_apps.dir/radix.cpp.o.d"
+  "CMakeFiles/me_apps.dir/raytrace.cpp.o"
+  "CMakeFiles/me_apps.dir/raytrace.cpp.o.d"
+  "CMakeFiles/me_apps.dir/registry.cpp.o"
+  "CMakeFiles/me_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/me_apps.dir/water_nsq.cpp.o"
+  "CMakeFiles/me_apps.dir/water_nsq.cpp.o.d"
+  "CMakeFiles/me_apps.dir/water_spatial.cpp.o"
+  "CMakeFiles/me_apps.dir/water_spatial.cpp.o.d"
+  "libme_apps.a"
+  "libme_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_core.dir/api.cpp.o"
+  "CMakeFiles/me_core.dir/api.cpp.o.d"
+  "CMakeFiles/me_core.dir/microbench.cpp.o"
+  "CMakeFiles/me_core.dir/microbench.cpp.o.d"
+  "libme_core.a"
+  "libme_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

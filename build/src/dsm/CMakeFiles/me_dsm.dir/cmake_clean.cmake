@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_dsm.dir/dsm.cpp.o"
+  "CMakeFiles/me_dsm.dir/dsm.cpp.o.d"
+  "CMakeFiles/me_dsm.dir/msg.cpp.o"
+  "CMakeFiles/me_dsm.dir/msg.cpp.o.d"
+  "libme_dsm.a"
+  "libme_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

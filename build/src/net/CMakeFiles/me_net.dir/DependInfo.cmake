@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/me_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/me_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/me_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/me_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/me_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/me_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/me_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/me_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/me_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/me_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

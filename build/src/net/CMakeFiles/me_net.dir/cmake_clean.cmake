@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_net.dir/channel.cpp.o"
+  "CMakeFiles/me_net.dir/channel.cpp.o.d"
+  "CMakeFiles/me_net.dir/frame.cpp.o"
+  "CMakeFiles/me_net.dir/frame.cpp.o.d"
+  "CMakeFiles/me_net.dir/nic.cpp.o"
+  "CMakeFiles/me_net.dir/nic.cpp.o.d"
+  "CMakeFiles/me_net.dir/switch.cpp.o"
+  "CMakeFiles/me_net.dir/switch.cpp.o.d"
+  "CMakeFiles/me_net.dir/topology.cpp.o"
+  "CMakeFiles/me_net.dir/topology.cpp.o.d"
+  "libme_net.a"
+  "libme_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libme_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_proto.dir/connection.cpp.o"
+  "CMakeFiles/me_proto.dir/connection.cpp.o.d"
+  "CMakeFiles/me_proto.dir/engine.cpp.o"
+  "CMakeFiles/me_proto.dir/engine.cpp.o.d"
+  "CMakeFiles/me_proto.dir/wire.cpp.o"
+  "CMakeFiles/me_proto.dir/wire.cpp.o.d"
+  "libme_proto.a"
+  "libme_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

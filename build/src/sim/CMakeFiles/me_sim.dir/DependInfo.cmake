@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/me_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/me_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/fiber.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/me_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/me_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/sim/CMakeFiles/me_sim.dir/timer.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/timer.cpp.o.d"
+  "/root/repo/src/sim/wait_queue.cpp" "src/sim/CMakeFiles/me_sim.dir/wait_queue.cpp.o" "gcc" "src/sim/CMakeFiles/me_sim.dir/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

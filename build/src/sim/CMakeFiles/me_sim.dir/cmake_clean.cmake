@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_sim.dir/cpu.cpp.o"
+  "CMakeFiles/me_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/me_sim.dir/fiber.cpp.o"
+  "CMakeFiles/me_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/me_sim.dir/process.cpp.o"
+  "CMakeFiles/me_sim.dir/process.cpp.o.d"
+  "CMakeFiles/me_sim.dir/simulator.cpp.o"
+  "CMakeFiles/me_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/me_sim.dir/timer.cpp.o"
+  "CMakeFiles/me_sim.dir/timer.cpp.o.d"
+  "CMakeFiles/me_sim.dir/wait_queue.cpp.o"
+  "CMakeFiles/me_sim.dir/wait_queue.cpp.o.d"
+  "libme_sim.a"
+  "libme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

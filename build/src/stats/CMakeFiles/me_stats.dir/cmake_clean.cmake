@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/me_stats.dir/counters.cpp.o"
+  "CMakeFiles/me_stats.dir/counters.cpp.o.d"
+  "CMakeFiles/me_stats.dir/table.cpp.o"
+  "CMakeFiles/me_stats.dir/table.cpp.o.d"
+  "libme_stats.a"
+  "libme_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/me_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_test.dir/dsm_stress_test.cpp.o"
+  "CMakeFiles/dsm_test.dir/dsm_stress_test.cpp.o.d"
+  "CMakeFiles/dsm_test.dir/dsm_test.cpp.o"
+  "CMakeFiles/dsm_test.dir/dsm_test.cpp.o.d"
+  "dsm_test"
+  "dsm_test.pdb"
+  "dsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

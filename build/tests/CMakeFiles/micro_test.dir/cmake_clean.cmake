@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_test.dir/microbench_test.cpp.o"
+  "CMakeFiles/micro_test.dir/microbench_test.cpp.o.d"
+  "micro_test"
+  "micro_test.pdb"
+  "micro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

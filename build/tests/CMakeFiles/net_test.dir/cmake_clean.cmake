@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net_channel_test.cpp.o"
+  "CMakeFiles/net_test.dir/net_channel_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net_frame_test.cpp.o"
+  "CMakeFiles/net_test.dir/net_frame_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net_nic_test.cpp.o"
+  "CMakeFiles/net_test.dir/net_nic_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net_switch_test.cpp.o"
+  "CMakeFiles/net_test.dir/net_switch_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net_topology_test.cpp.o"
+  "CMakeFiles/net_test.dir/net_topology_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

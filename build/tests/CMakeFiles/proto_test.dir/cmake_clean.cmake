@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_test.dir/proto_engine_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto_engine_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto_fence_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto_fence_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto_rdma_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto_rdma_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto_reliability_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto_reliability_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/proto_wire_test.cpp.o"
+  "CMakeFiles/proto_test.dir/proto_wire_test.cpp.o.d"
+  "proto_test"
+  "proto_test.pdb"
+  "proto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

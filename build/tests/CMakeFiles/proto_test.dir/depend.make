@@ -1,0 +1,2 @@
+# Empty dependencies file for proto_test.
+# This may be replaced when dependencies are built.

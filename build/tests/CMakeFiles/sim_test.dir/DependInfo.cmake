@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_cpu_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_cpu_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_cpu_test.cpp.o.d"
+  "/root/repo/tests/sim_fiber_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_fiber_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_fiber_test.cpp.o.d"
+  "/root/repo/tests/sim_process_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_process_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_process_test.cpp.o.d"
+  "/root/repo/tests/sim_random_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_random_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_random_test.cpp.o.d"
+  "/root/repo/tests/sim_simulator_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/me_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/me_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/me_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/me_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/me_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/me_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/me_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
