@@ -258,6 +258,26 @@ void Cluster::connect_all_mesh() {
   }
 }
 
+std::vector<std::string> Cluster::invariant_violations() const {
+  std::vector<std::string> all;
+  for (const auto& ns : nodes_) {
+    if (const proto::InvariantChecker* ck = ns->engine->checker()) {
+      all.insert(all.end(), ck->violations().begin(), ck->violations().end());
+    }
+  }
+  return all;
+}
+
+std::uint64_t Cluster::invariant_checks_run() const {
+  std::uint64_t total = 0;
+  for (const auto& ns : nodes_) {
+    if (const proto::InvariantChecker* ck = ns->engine->checker()) {
+      total += ck->checks_run();
+    }
+  }
+  return total;
+}
+
 void Cluster::reset_cpu_windows() {
   for (auto& ns : nodes_) {
     ns->app_cpu->reset_window();

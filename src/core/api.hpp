@@ -242,6 +242,13 @@ class Cluster {
   /// Start a protocol CPU-utilization measurement window on all nodes.
   void reset_cpu_windows();
 
+  /// All protocol-invariant violations recorded by every node's checker
+  /// (empty unless ClusterConfig::protocol.check_invariants is set — see
+  /// proto/invariants.hpp). Tests assert this is empty.
+  std::vector<std::string> invariant_violations() const;
+  /// Total invariant checks executed across all nodes (0 when disabled).
+  std::uint64_t invariant_checks_run() const;
+
   /// Paper-style protocol CPU utilization of `node` out of 2.0 (two CPUs).
   double protocol_cpu_utilization(int node) const;
 

@@ -5,6 +5,17 @@
 
 namespace multiedge::net {
 
+void Channel::schedule_delivery(FramePtr frame) {
+  sim::Time jitter = 0;
+  if (faults_.jitter_max > 0) {
+    jitter = static_cast<sim::Time>(
+        rng_.next_below(static_cast<std::uint64_t>(faults_.jitter_max) + 1));
+    if (jitter > 0) ++stats_.frames_delayed;
+  }
+  sim_.at(tx_free_at_ + prop_delay_ + jitter,
+          [this, f = std::move(frame)]() mutable { sink_->deliver(std::move(f)); });
+}
+
 void Channel::send(FramePtr frame) {
   assert(!busy() && "channel is half-duplex per direction: one frame at a time");
   assert(sink_ != nullptr && "channel has no receiver attached");
@@ -16,10 +27,25 @@ void Channel::send(FramePtr frame) {
 
   if (on_tx_done_) sim_.at(tx_free_at_, on_tx_done_);
 
-  const bool drop =
-      faults_.in_outage(sim_.now()) || rng_.chance(faults_.drop_prob);
-  if (drop) {
+  // Evolve the Gilbert–Elliott state once per transmitted frame.
+  if (faults_.burst.enabled) {
+    const bool next_bad = burst_bad_ ? !rng_.chance(faults_.burst.p_bad_to_good)
+                                     : rng_.chance(faults_.burst.p_good_to_bad);
+    if (next_bad != burst_bad_) {
+      burst_bad_ = next_bad;
+      ++stats_.burst_transitions;
+    }
+  }
+
+  if (faults_.in_outage(sim_.now()) || rng_.chance(faults_.drop_prob)) {
     ++stats_.frames_dropped;
+    return;
+  }
+  if (faults_.burst.enabled &&
+      rng_.chance(burst_bad_ ? faults_.burst.drop_bad
+                             : faults_.burst.drop_good)) {
+    ++stats_.frames_dropped;
+    ++stats_.frames_dropped_burst;
     return;
   }
   if (rng_.chance(faults_.corrupt_prob)) {
@@ -28,8 +54,13 @@ void Channel::send(FramePtr frame) {
     damaged->fcs_bad = true;
     frame = damaged;
   }
-  sim_.at(tx_free_at_ + prop_delay_,
-          [this, f = std::move(frame)]() mutable { sink_->deliver(std::move(f)); });
+  if (rng_.chance(faults_.dup_prob)) {
+    // Both copies hit the wire; each gets its own jitter draw, so the
+    // duplicate can arrive before or after the original.
+    ++stats_.frames_duplicated;
+    schedule_delivery(frame);
+  }
+  schedule_delivery(std::move(frame));
 }
 
 }  // namespace multiedge::net

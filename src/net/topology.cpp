@@ -89,10 +89,19 @@ Network::Network(sim::Simulator& sim, TopologyConfig config)
       auto down = std::make_unique<Channel>(sim_, cfg_.link.gbps,
                                             cfg_.link.propagation_delay,
                                             next_seed());
-      up->faults().drop_prob = cfg_.link.drop_prob;
-      up->faults().corrupt_prob = cfg_.link.corrupt_prob;
-      down->faults().drop_prob = cfg_.link.drop_prob;
-      down->faults().corrupt_prob = cfg_.link.corrupt_prob;
+      for (Channel* ch : {up.get(), down.get()}) {
+        FaultModel& fm = ch->faults();
+        fm.drop_prob = cfg_.link.drop_prob;
+        fm.corrupt_prob = cfg_.link.corrupt_prob;
+        fm.dup_prob = cfg_.link.dup_prob;
+        fm.jitter_max = cfg_.link.jitter_max;
+        fm.burst = cfg_.link.burst;
+        for (const RailOutage& o : cfg_.rail_outages) {
+          if (o.rail == r && (o.node < 0 || o.node == n)) {
+            fm.outages.push_back({o.start, o.end});
+          }
+        }
+      }
 
       // node --up--> switch port; switch --down--> node.
       FrameSink* sw_sink = edge_switch(r, group).add_port(down.get());

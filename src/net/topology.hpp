@@ -25,6 +25,23 @@ struct LinkSpec {
   sim::Time propagation_delay = sim::ns(500);  // cable + PHY
   double drop_prob = 0.0;
   double corrupt_prob = 0.0;
+  double dup_prob = 0.0;
+  /// Max extra per-frame propagation delay (uniform in [0, jitter_max]);
+  /// large values reorder frames within a single link.
+  sim::Time jitter_max = 0;
+  /// Gilbert–Elliott bursty loss applied to every node<->switch channel.
+  GilbertElliott burst;
+};
+
+/// Scheduled failure/recovery of one rail: both directions of the matching
+/// node<->switch links are dead during [start, end). With node == -1 the
+/// outage hits every node's links on that rail (the whole rail dies — switch
+/// power loss); with a specific node only that node's cable is pulled.
+struct RailOutage {
+  int rail = 0;
+  int node = -1;  // -1 = all nodes on this rail
+  sim::Time start = 0;
+  sim::Time end = 0;
 };
 
 struct TopologyConfig {
@@ -34,6 +51,11 @@ struct TopologyConfig {
   NicConfig nic;          // gbps is overridden by link.gbps
   SwitchConfig switch_cfg;
   std::uint64_t seed = 42;
+
+  /// Scheduled per-rail failure/recovery windows (§2.4: transfers survive
+  /// transient link failures; one rail of a striped connection can die and
+  /// come back mid-transfer).
+  std::vector<RailOutage> rail_outages;
 
   /// Multi-switch core (the paper's §6 future work: "communication paths
   /// that consist of multiple switches"). 0 or 1 = one flat switch per

@@ -68,6 +68,11 @@ struct ProtocolConfig {
   /// Max frames the protocol thread processes per CPU quantum before
   /// re-evaluating (bounds batching latency).
   std::uint32_t thread_batch_frames = 16;
+
+  /// Instantiate the protocol InvariantChecker (see proto/invariants.hpp).
+  /// Test instrumentation: defaults off; when off the only cost is one null
+  /// pointer check per hook site.
+  bool check_invariants = false;
 };
 
 /// CPU costs charged by the simulated hosts. All values are calibration

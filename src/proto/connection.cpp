@@ -203,6 +203,10 @@ void Connection::try_transmit(sim::Cpu& cpu) {
     auto clone = std::make_shared<net::Frame>(*of.frame);
     if (!transmit_on_some_link(clone, cpu)) break;
     counters_.add("retransmissions");
+    if (auto* ck = engine_.checker()) {
+      ck->on_frame_sent(*this, of.seq, unacked_.size(),
+                        engine_.config().window_frames);
+    }
     retx_queued_seqs_.erase(of.seq);
     retx_queue_.pop_front();
     sent_any = true;
@@ -217,6 +221,10 @@ void Connection::try_transmit(sim::Cpu& cpu) {
     }
     if (!transmit_on_some_link(of.frame, cpu)) break;
     unacked_.emplace(of.seq, std::move(of.frame));
+    if (auto* ck = engine_.checker()) {
+      ck->on_frame_sent(*this, of.seq, unacked_.size(),
+                        engine_.config().window_frames);
+    }
     pending_.pop_front();
     sent_any = true;
   }
@@ -231,6 +239,7 @@ void Connection::try_transmit(sim::Cpu& cpu) {
 }
 
 void Connection::process_ack(std::uint64_t ack, sim::Cpu& cpu) {
+  if (auto* ck = engine_.checker()) ck->on_ack_received(*this, ack);
   if (ack <= snd_una_) return;
   unacked_.erase(unacked_.begin(), unacked_.lower_bound(ack));
   snd_una_ = ack;  // obsolete retx entries are skipped in try_transmit()
@@ -337,6 +346,7 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
     }
   }
   gaps_.erase(seq);
+  if (auto* ck = engine_.checker()) ck->on_seq_accepted(*this, seq);
 
   if (in_order_mode) {
     if (seq == rcv_nxt_) {
@@ -365,6 +375,7 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
     apply_or_block(std::move(frag), cpu);
   }
 
+  if (auto* ck = engine_.checker()) ck->on_rcv_frontier(*this, rcv_nxt_);
   after_new_data_frame(cpu);
 }
 
@@ -397,7 +408,7 @@ void Connection::note_gap_progress() {
 
 void Connection::on_duplicate(std::uint64_t seq, sim::Cpu& cpu) {
   (void)seq;
-  counters_.add("dup_frames_rcvd");
+  counters_.add("duplicates_discarded");
   // A duplicate means the sender is retransmitting: our ACKs (or its data)
   // were lost. Re-ack immediately. Gap reporting stays on its normal
   // schedule — forcing NACKs here would re-request frames that are merely
@@ -540,6 +551,11 @@ void Connection::apply_or_block(BufferedFrag frag, sim::Cpu& cpu) {
 }
 
 void Connection::apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu) {
+  if (auto* ck = engine_.checker()) {
+    ck->on_frag_applied(*this, op.op_id, op.flags, op.ffence_dep,
+                        frag.hdr.frag_offset,
+                        static_cast<std::uint32_t>(frag.data.size()));
+  }
   if (op.is_read_req) return;  // served in maybe_complete
   (void)cpu;
   if (op.is_scatter) {
@@ -557,6 +573,7 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
   if (!done) return;
 
   const std::uint64_t op_id = op.op_id;
+  if (auto* ck = engine_.checker()) ck->on_op_completed(*this, op_id);
   if (op.flags & kOpFlagSolicit) {
     ack_on_idle_ = true;  // ack the completed op at the next receive lull
   }

@@ -13,7 +13,11 @@ Engine::Engine(sim::Simulator& sim, int node_id, MemorySpace& memory,
       proto_cpu_(proto_cpu),
       cfg_(config),
       costs_(costs),
-      rng_(0xa11ce5 + static_cast<std::uint64_t>(node_id) * 7919) {}
+      rng_(0xa11ce5 + static_cast<std::uint64_t>(node_id) * 7919) {
+  if (cfg_.check_invariants) {
+    checker_ = std::make_unique<InvariantChecker>(node_id_);
+  }
+}
 
 Engine::~Engine() = default;
 

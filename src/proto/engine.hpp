@@ -19,6 +19,7 @@
 #include "driver/net_driver.hpp"
 #include "proto/config.hpp"
 #include "proto/connection.hpp"
+#include "proto/invariants.hpp"
 #include "proto/memory.hpp"
 #include "proto/types.hpp"
 #include "proto/wire.hpp"
@@ -70,6 +71,8 @@ class Engine {
   int node_id() const { return node_id_; }
   sim::Rng& rng() { return rng_; }
   sim::Cpu& proto_cpu() { return proto_cpu_; }
+  /// Non-null only when config().check_invariants (test instrumentation).
+  InvariantChecker* checker() const { return checker_.get(); }
   void deliver_notification(Notification n, sim::Cpu& cpu);
   /// Register a connection that still has frames waiting for window/ring.
   void note_backlog(Connection* conn) { backlog_.insert(conn); }
@@ -133,6 +136,7 @@ class Engine {
 
   std::set<Connection*> backlog_;
   bool thread_active_ = false;
+  std::unique_ptr<InvariantChecker> checker_;
   stats::Counters counters_;
 };
 

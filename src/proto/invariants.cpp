@@ -1,0 +1,148 @@
+#include "proto/invariants.hpp"
+
+#include <sstream>
+
+#include "proto/connection.hpp"
+#include "proto/wire.hpp"
+
+namespace multiedge::proto {
+
+void InvariantChecker::violation(const Connection& c, const std::string& what) {
+  // Cap the log: one broken invariant usually cascades, and tests only need
+  // the head of the trail to diagnose.
+  if (violations_.size() >= 100) return;
+  std::ostringstream os;
+  os << "node " << node_id_ << " conn " << c.local_id() << " (peer "
+     << c.peer_node() << "): " << what;
+  violations_.push_back(os.str());
+}
+
+void InvariantChecker::on_frame_sent(const Connection& c, std::uint64_t seq,
+                                     std::size_t frames_in_flight,
+                                     std::size_t window_frames) {
+  ++checks_;
+  SenderShadow& ss = send_[&c];
+  if (!ss.any_sent || seq > ss.max_seq_sent) {
+    ss.any_sent = true;
+    ss.max_seq_sent = seq;
+  }
+  if (frames_in_flight > window_frames) {
+    std::ostringstream os;
+    os << "send window exceeded: " << frames_in_flight << " frames in flight > "
+       << window_frames << " window_frames (seq " << seq << ")";
+    violation(c, os.str());
+  }
+}
+
+void InvariantChecker::on_ack_received(const Connection& c, std::uint64_t ack) {
+  ++checks_;
+  const SenderShadow& ss = send_[&c];
+  const std::uint64_t limit = ss.any_sent ? ss.max_seq_sent + 1 : 0;
+  if (ack > limit) {
+    std::ostringstream os;
+    os << "ACK acknowledges unsent sequences: ack " << ack
+       << " > highest transmitted seq + 1 (" << limit << ")";
+    violation(c, os.str());
+  }
+}
+
+void InvariantChecker::on_seq_accepted(const Connection& c, std::uint64_t seq) {
+  ++checks_;
+  ReceiverShadow& rs = recv_[&c];
+  if (seq < rs.accepted_below || rs.accepted_above.count(seq) > 0) {
+    std::ostringstream os;
+    os << "sequence " << seq << " accepted twice (duplicate slipped past "
+       << "the duplicate filter)";
+    violation(c, os.str());
+    return;
+  }
+  if (seq == rs.accepted_below) {
+    ++rs.accepted_below;
+    while (rs.accepted_above.erase(rs.accepted_below)) ++rs.accepted_below;
+  } else {
+    rs.accepted_above.insert(seq);
+  }
+}
+
+void InvariantChecker::on_rcv_frontier(const Connection& c,
+                                       std::uint64_t rcv_nxt) {
+  ++checks_;
+  const ReceiverShadow& rs = recv_[&c];
+  if (rcv_nxt != rs.accepted_below) {
+    std::ostringstream os;
+    os << "receive frontier out of step: rcv_nxt " << rcv_nxt
+       << " != lowest never-received seq " << rs.accepted_below
+       << (rcv_nxt > rs.accepted_below ? " (gap skipped)" : " (frontier lost)");
+    violation(c, os.str());
+  }
+}
+
+void InvariantChecker::on_frag_applied(const Connection& c, std::uint64_t op_id,
+                                       std::uint16_t op_flags,
+                                       std::uint64_t ffence_dep,
+                                       std::uint32_t frag_offset,
+                                       std::uint32_t frag_len) {
+  ++checks_;
+  ReceiverShadow& rs = recv_[&c];
+
+  // F: fence constraints must hold at application time.
+  if ((op_flags & kOpFlagBackwardFence) && rs.completed_below < op_id) {
+    std::ostringstream os;
+    os << "BACKWARD_FENCE violated: fragment of op " << op_id
+       << " applied while ops below " << rs.completed_below
+       << " are the only ones complete";
+    violation(c, os.str());
+  }
+  if (ffence_dep != kNoFenceDep && !op_completed(rs, ffence_dep)) {
+    std::ostringstream os;
+    os << "FORWARD_FENCE violated: fragment of op " << op_id
+       << " applied before its fence dependency op " << ffence_dep
+       << " completed";
+    violation(c, os.str());
+  }
+
+  // B: exactly-once byte delivery.
+  if (op_completed(rs, op_id)) {
+    std::ostringstream os;
+    os << "fragment of op " << op_id << " applied after the op completed "
+       << "(offset " << frag_offset << ", len " << frag_len << ")";
+    violation(c, os.str());
+    return;
+  }
+  if (frag_len == 0) return;  // read requests carry no bytes
+  auto& intervals = rs.applied[op_id];
+  const std::uint32_t end = frag_offset + frag_len;
+  auto next = intervals.lower_bound(frag_offset);
+  const bool overlaps_next = next != intervals.end() && next->first < end;
+  const bool overlaps_prev =
+      next != intervals.begin() && std::prev(next)->second > frag_offset;
+  if (overlaps_next || overlaps_prev) {
+    std::ostringstream os;
+    os << "byte range [" << frag_offset << ", " << end << ") of op " << op_id
+       << " applied twice";
+    violation(c, os.str());
+    return;
+  }
+  intervals.emplace(frag_offset, end);
+}
+
+void InvariantChecker::on_op_completed(const Connection& c,
+                                       std::uint64_t op_id) {
+  ++checks_;
+  ReceiverShadow& rs = recv_[&c];
+  if (op_completed(rs, op_id)) {
+    std::ostringstream os;
+    os << "op " << op_id << " completed twice";
+    violation(c, os.str());
+    return;
+  }
+  if (op_id == rs.completed_below) {
+    ++rs.completed_below;
+    while (rs.completed_above.erase(rs.completed_below)) ++rs.completed_below;
+  } else {
+    rs.completed_above.insert(op_id);
+  }
+  rs.applied.erase(op_id);  // bound shadow memory; late frags are caught above
+}
+
+}  // namespace multiedge::proto

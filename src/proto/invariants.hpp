@@ -1,0 +1,87 @@
+// Machine-checked protocol invariants (test instrumentation).
+//
+// The checker mirrors each connection's externally observable protocol state
+// in shadow structures fed by hooks in Connection, and records a violation
+// whenever the implementation breaks one of the properties §2.4-§2.5 promise:
+//
+//   W  the send window never holds more than `window_frames` unacked frames;
+//   S  each data-path sequence number is accepted at most once, and the
+//      receive frontier (rcv_nxt) advances without gaps — it always equals
+//      the lowest never-received sequence number;
+//   B  no byte of an operation is applied to memory twice (per-op interval
+//      accounting over fragment offsets), and no fragment of an operation
+//      is applied after the operation completed;
+//   F  fences hold: a BACKWARD_FENCE fragment is only applied once every
+//      prior operation completed, a fragment with a forward-fence dependency
+//      only after that dependency completed;
+//   A  cumulative ACKs never acknowledge sequence numbers that were never
+//      transmitted.
+//
+// The checker is owned by the Engine and only instantiated when
+// ProtocolConfig::check_invariants is set (tests); every hook site guards on
+// a single null pointer check, so the disabled cost is negligible.
+// Violations are collected, not thrown — tests assert `ok()` and print
+// `violations()`, which keeps a failing stress seed replayable to the end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace multiedge::proto {
+
+class Connection;
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(int node_id) : node_id_(node_id) {}
+
+  // --- sender-side hooks ---
+  void on_frame_sent(const Connection& c, std::uint64_t seq,
+                     std::size_t frames_in_flight, std::size_t window_frames);
+  void on_ack_received(const Connection& c, std::uint64_t ack);
+
+  // --- receiver-side hooks ---
+  void on_seq_accepted(const Connection& c, std::uint64_t seq);
+  void on_rcv_frontier(const Connection& c, std::uint64_t rcv_nxt);
+  void on_frag_applied(const Connection& c, std::uint64_t op_id,
+                       std::uint16_t op_flags, std::uint64_t ffence_dep,
+                       std::uint32_t frag_offset, std::uint32_t frag_len);
+  void on_op_completed(const Connection& c, std::uint64_t op_id);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t checks_run() const { return checks_; }
+
+ private:
+  struct SenderShadow {
+    bool any_sent = false;
+    std::uint64_t max_seq_sent = 0;
+  };
+  struct ReceiverShadow {
+    // Accepted (passed duplicate filtering) sequence numbers: all below
+    // `accepted_below` plus the sparse set above it.
+    std::uint64_t accepted_below = 0;
+    std::set<std::uint64_t> accepted_above;
+    // Completed operations, same frontier + sparse-set representation.
+    std::uint64_t completed_below = 0;
+    std::set<std::uint64_t> completed_above;
+    // Per open op: applied fragment intervals, offset -> end.
+    std::map<std::uint64_t, std::map<std::uint32_t, std::uint32_t>> applied;
+  };
+
+  bool op_completed(const ReceiverShadow& rs, std::uint64_t op_id) const {
+    return op_id < rs.completed_below || rs.completed_above.count(op_id) > 0;
+  }
+  void violation(const Connection& c, const std::string& what);
+
+  int node_id_;
+  std::map<const Connection*, SenderShadow> send_;
+  std::map<const Connection*, ReceiverShadow> recv_;
+  std::vector<std::string> violations_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace multiedge::proto

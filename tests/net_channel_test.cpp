@@ -148,6 +148,111 @@ TEST(Channel, StatsCountWireBytes) {
   EXPECT_EQ(ch.stats().bytes_sent, f->wire_bytes());
 }
 
+TEST(Channel, DuplicationDeliversFrameTwice) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500));
+  ch.set_sink(&sink);
+  ch.faults().dup_prob = 1.0;
+  ch.send(make_frame(100));
+  sim.run();
+  EXPECT_EQ(sink.frames.size(), 2u);
+  EXPECT_EQ(ch.stats().frames_sent, 1u);
+  EXPECT_EQ(ch.stats().frames_duplicated, 1u);
+  // Both copies alias the same wire frame.
+  EXPECT_EQ(sink.frames[0], sink.frames[1]);
+}
+
+TEST(Channel, JitterDelaysAndReordersFrames) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(500), /*seed=*/7);
+  ch.set_sink(&sink);
+  // Jitter far larger than the per-frame serialization time (~0.8 us for
+  // 100 B at 1 Gbps): with enough frames some later frame must overtake an
+  // earlier one.
+  ch.faults().jitter_max = sim::us(50);
+  int sent = 0;
+  std::function<void()> feed = [&] {
+    if (sent < 16) {
+      auto f = std::make_shared<Frame>();
+      f->payload.resize(100);
+      f->payload[0] = static_cast<std::byte>(sent);
+      ++sent;
+      ch.send(f);
+    }
+  };
+  ch.set_on_tx_done(feed);
+  feed();
+  sim.run();
+  ASSERT_EQ(sink.frames.size(), 16u);  // jitter delays, never drops
+  EXPECT_GT(ch.stats().frames_delayed, 0u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < sink.frames.size(); ++i) {
+    if (sink.frames[i]->payload[0] < sink.frames[i - 1]->payload[0]) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered) << "50 us of jitter over 16 back-to-back frames must "
+                            "reorder at least one pair";
+}
+
+TEST(Channel, GilbertElliottBurstDropsInBadStateOnly) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(0));
+  ch.set_sink(&sink);
+  // Deterministic corner: first frame transitions good->bad and everything
+  // sent in the bad state is lost; the good state never drops.
+  ch.faults().burst.enabled = true;
+  ch.faults().burst.p_good_to_bad = 1.0;
+  ch.faults().burst.p_bad_to_good = 0.0;
+  ch.faults().burst.drop_good = 0.0;
+  ch.faults().burst.drop_bad = 1.0;
+  int sent = 0;
+  std::function<void()> feed = [&] {
+    if (sent < 8) {
+      ++sent;
+      ch.send(make_frame(64));
+    }
+  };
+  ch.set_on_tx_done(feed);
+  feed();
+  sim.run();
+  EXPECT_TRUE(ch.in_burst_bad_state());
+  EXPECT_EQ(ch.stats().burst_transitions, 1u);
+  EXPECT_EQ(ch.stats().frames_dropped, 8u);
+  EXPECT_EQ(ch.stats().frames_dropped_burst, 8u);
+  EXPECT_TRUE(sink.frames.empty());
+}
+
+TEST(Channel, GilbertElliottRecoversToGoodState) {
+  sim::Simulator sim;
+  CollectorSink sink(sim);
+  Channel ch(sim, 1.0, sim::ns(0));
+  ch.set_sink(&sink);
+  // Deterministic flip-flop: the state toggles on every frame, so drops
+  // alternate with deliveries and every toggle is counted.
+  ch.faults().burst.enabled = true;
+  ch.faults().burst.p_good_to_bad = 1.0;
+  ch.faults().burst.p_bad_to_good = 1.0;
+  ch.faults().burst.drop_bad = 1.0;
+  int sent = 0;
+  std::function<void()> feed = [&] {
+    if (sent < 10) {
+      ++sent;
+      ch.send(make_frame(64));
+    }
+  };
+  ch.set_on_tx_done(feed);
+  feed();
+  sim.run();
+  EXPECT_EQ(ch.stats().burst_transitions, 10u);
+  EXPECT_EQ(ch.stats().frames_dropped_burst, 5u);  // every odd frame (bad)
+  EXPECT_EQ(sink.frames.size(), 5u);               // every even frame (good)
+  EXPECT_FALSE(ch.in_burst_bad_state());
+}
+
 TEST(Channel, TenGigIsTenTimesFaster) {
   sim::Simulator sim;
   CollectorSink s1(sim), s10(sim);

@@ -25,8 +25,23 @@ bool check(const proto::MemorySpace& mem, std::uint64_t va, std::size_t n,
   return true;
 }
 
+// Cluster with the protocol invariant checker enabled; verifies on teardown
+// that no invariant was violated during the test.
+struct CheckedCluster : Cluster {
+  explicit CheckedCluster(ClusterConfig cfg) : Cluster(enable(std::move(cfg))) {}
+  ~CheckedCluster() {
+    const std::vector<std::string> v = invariant_violations();
+    EXPECT_TRUE(v.empty()) << "first invariant violation: "
+                           << (v.empty() ? "" : v.front());
+  }
+  static ClusterConfig enable(ClusterConfig cfg) {
+    cfg.protocol.check_invariants = true;
+    return cfg;
+  }
+};
+
 TEST(Engine, InterruptsAreCoalescedUnderStreaming) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   constexpr std::size_t kSize = 1 << 20;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -47,7 +62,7 @@ TEST(Engine, InterruptsAreCoalescedUnderStreaming) {
 
 TEST(Engine, PiggybackCarriesAcksInRequestResponseTraffic) {
   // Ping-pong style traffic: almost all acks should ride data frames.
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   const std::uint64_t a = cluster.memory(0).alloc(4096);
   const std::uint64_t b = cluster.memory(1).alloc(4096);
   constexpr int kRounds = 50;
@@ -76,7 +91,7 @@ TEST(Engine, NackTriggersFastRetransmitBeforeRto) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.topology.link.drop_prob = 0.02;
   cfg.protocol.retransmit_timeout = sim::sec(1);  // RTO effectively disabled
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 512 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -97,7 +112,7 @@ TEST(Engine, NackTriggersFastRetransmitBeforeRto) {
 
 TEST(Engine, DuplicateSynDoesNotCreateDuplicateConnections) {
   ClusterConfig cfg = config_1l_1g(2);
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   // Lose the first SYN-ACK: initiator re-SYNs; responder must reuse its
   // connection, not create a second one.
   cluster.network().uplink(1, 0).faults().outages.push_back({0, sim::ms(15)});
@@ -110,7 +125,7 @@ TEST(Engine, DuplicateSynDoesNotCreateDuplicateConnections) {
 TEST(Engine, WindowStallsAreCountedWhenPipeIsThin) {
   ClusterConfig cfg = config_1l_10g(2);
   cfg.protocol.window_frames = 4;  // far below the 10G bandwidth-delay product
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 1 << 20;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -129,7 +144,7 @@ class StripingPolicyTest
 TEST_P(StripingPolicyTest, DeliversCorrectlyAndUsesBothRails) {
   ClusterConfig cfg = config_2lu_1g(2);
   cfg.protocol.striping = GetParam();
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 1 << 19;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -165,7 +180,7 @@ INSTANTIATE_TEST_SUITE_P(Policies, StripingPolicyTest,
 TEST(Engine, BacklogDrainsWhenNicRingIsTiny) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.topology.nic.tx_ring_slots = 4;  // extreme ring pressure
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 256 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -182,7 +197,7 @@ TEST(Engine, DeterministicAcrossRuns) {
   auto run_once = [] {
     ClusterConfig cfg = config_2lu_1g(2);
     cfg.topology.link.drop_prob = 0.01;
-    Cluster cluster(cfg);
+    CheckedCluster cluster(cfg);
     const std::uint64_t src = cluster.memory(0).alloc(1 << 18);
     const std::uint64_t dst = cluster.memory(1).alloc(1 << 18);
     cluster.spawn(0, "w", [&](Endpoint& ep) {
@@ -201,7 +216,7 @@ TEST(Engine, DeterministicAcrossRuns) {
 }
 
 TEST(Engine, AggregateCountersIncludeConnections) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   const std::uint64_t src = cluster.memory(0).alloc(4096);
   const std::uint64_t dst = cluster.memory(1).alloc(4096);
   cluster.spawn(0, "w", [&](Endpoint& ep) {

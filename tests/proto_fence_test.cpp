@@ -17,6 +17,7 @@ namespace {
 ClusterConfig reorder_prone_config() {
   ClusterConfig cfg = config_2lu_1g(2);
   cfg.protocol.nack_frame_threshold = 4;
+  cfg.protocol.check_invariants = true;
   return cfg;
 }
 
@@ -72,6 +73,7 @@ TEST(Fence, UnfencedOpsReorderUnderRailStall) {
     if (probe.order[i] < probe.order[i - 1]) any_reorder = true;
   }
   EXPECT_TRUE(any_reorder);
+  EXPECT_TRUE(cluster.invariant_violations().empty());
 }
 
 TEST(Fence, BackwardFenceWaitsForAllPriorOps) {
@@ -108,6 +110,7 @@ TEST(Fence, BackwardFenceWaitsForAllPriorOps) {
   ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
   EXPECT_EQ(probe.order.back(), kOps)
       << "backward-fenced op became visible before some earlier op";
+  EXPECT_TRUE(cluster.invariant_violations().empty());
 }
 
 TEST(Fence, ForwardFenceBlocksAllLaterOps) {
@@ -148,10 +151,12 @@ TEST(Fence, ForwardFenceBlocksAllLaterOps) {
   ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
   EXPECT_EQ(probe.order.front(), 0)
       << "an op issued after the forward fence became visible first";
+  EXPECT_TRUE(cluster.invariant_violations().empty());
 }
 
 TEST(Fence, InOrderModeAlwaysAppliesInIssueOrder) {
   ClusterConfig cfg = config_2l_1g(2);  // strict ordering
+  cfg.protocol.check_invariants = true;
   Cluster cluster(cfg);
   const int kOps = 12;
   const std::uint64_t src = cluster.memory(0).alloc(kOps);
@@ -180,6 +185,82 @@ TEST(Fence, InOrderModeAlwaysAppliesInIssueOrder) {
 
   ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps));
   for (int i = 0; i < kOps; ++i) EXPECT_EQ(probe.order[i], i);
+  EXPECT_TRUE(cluster.invariant_violations().empty());
+}
+
+TEST(Fence, BackwardFenceHoldsUnderLoss) {
+  // Fences must hold not just under reorder but under loss: dropped frames
+  // are retransmitted out of band, which is exactly when a buggy fence
+  // implementation would let the fenced op jump ahead.
+  ClusterConfig cfg = reorder_prone_config();
+  cfg.topology.link.drop_prob = 0.05;
+  Cluster cluster(cfg);
+  const int kOps = 12;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps + 1);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps + 1);
+  for (int i = 0; i <= kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps + 1, false);
+  for (int t = 1; t < 40000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps + 1);
+    });
+  }
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    for (int i = 0; i < kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    hs.push_back(c.rdma_write(dst + kOps, src + kOps, 1, kOpFlagBackwardFence));
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
+  EXPECT_EQ(probe.order.back(), kOps)
+      << "backward-fenced op became visible before some earlier op under loss";
+  EXPECT_TRUE(cluster.invariant_violations().empty());
+}
+
+TEST(Fence, ForwardFenceHoldsUnderLoss) {
+  ClusterConfig cfg = reorder_prone_config();
+  cfg.topology.link.drop_prob = 0.05;
+  Cluster cluster(cfg);
+  const int kOps = 12;
+  const std::uint64_t src = cluster.memory(0).alloc(kOps + 1);
+  const std::uint64_t dst = cluster.memory(1).alloc(kOps + 1);
+  for (int i = 0; i <= kOps; ++i) {
+    cluster.memory(0).view_mut(src + i, 1)[0] = static_cast<std::byte>(i + 1);
+  }
+
+  ApplyOrderProbe probe;
+  probe.seen.resize(kOps + 1, false);
+  for (int t = 1; t < 40000; ++t) {
+    cluster.sim().at(sim::us(t), [&] {
+      probe.sample(cluster.memory(1), dst, kOps + 1);
+    });
+  }
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    std::vector<OpHandle> hs;
+    hs.push_back(c.rdma_write(dst + 0, src + 0, 1, kOpFlagForwardFence));
+    for (int i = 1; i <= kOps; ++i) {
+      hs.push_back(c.rdma_write(dst + i, src + i, 1));
+    }
+    for (auto& h : hs) h.wait();
+  });
+  cluster.run();
+
+  ASSERT_EQ(probe.order.size(), static_cast<std::size_t>(kOps + 1));
+  EXPECT_EQ(probe.order.front(), 0)
+      << "an op issued after the forward fence became visible first under loss";
+  EXPECT_TRUE(cluster.invariant_violations().empty());
 }
 
 TEST(Fence, FencesAreNoOpsOnSingleLink) {

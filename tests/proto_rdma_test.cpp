@@ -27,8 +27,23 @@ bool check_pattern(const proto::MemorySpace& mem, std::uint64_t va,
   return true;
 }
 
+// Cluster with the protocol invariant checker enabled; verifies on teardown
+// that no invariant was violated during the test.
+struct CheckedCluster : Cluster {
+  explicit CheckedCluster(ClusterConfig cfg) : Cluster(enable(std::move(cfg))) {}
+  ~CheckedCluster() {
+    const std::vector<std::string> v = invariant_violations();
+    EXPECT_TRUE(v.empty()) << "first invariant violation: "
+                           << (v.empty() ? "" : v.front());
+  }
+  static ClusterConfig enable(ClusterConfig cfg) {
+    cfg.protocol.check_invariants = true;
+    return cfg;
+  }
+};
+
 TEST(Rdma, ConnectEstablishesBothSides) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   bool connected = false;
   cluster.spawn(0, "client", [&](Endpoint& ep) {
     Connection c = ep.connect(1);
@@ -44,7 +59,7 @@ TEST(Rdma, ConnectEstablishesBothSides) {
 }
 
 TEST(Rdma, SmallWriteDeliversDataAndNotification) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   const std::uint64_t src = cluster.memory(0).alloc(64);
   const std::uint64_t dst = cluster.memory(1).alloc(64);
   fill_pattern(cluster.memory(0), src, 64, 7);
@@ -69,7 +84,7 @@ TEST(Rdma, SmallWriteDeliversDataAndNotification) {
 }
 
 TEST(Rdma, LargeWriteFragmentsAndReassembles) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   constexpr std::size_t kSize = 1 << 20;  // 1 MiB -> ~735 frames
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -90,7 +105,7 @@ TEST(Rdma, LargeWriteFragmentsAndReassembles) {
 }
 
 TEST(Rdma, RemoteReadFetchesData) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   constexpr std::size_t kSize = 10000;
   const std::uint64_t remote_src = cluster.memory(1).alloc(kSize);
   const std::uint64_t local_dst = cluster.memory(0).alloc(kSize);
@@ -108,7 +123,7 @@ TEST(Rdma, RemoteReadFetchesData) {
 }
 
 TEST(Rdma, WriteCompletionMeansAcked) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   const std::uint64_t src = cluster.memory(0).alloc(4096);
   const std::uint64_t dst = cluster.memory(1).alloc(4096);
 
@@ -123,7 +138,7 @@ TEST(Rdma, WriteCompletionMeansAcked) {
 }
 
 TEST(Rdma, ManySmallOpsAllComplete) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   const std::uint64_t src = cluster.memory(0).alloc(64 * 128);
   const std::uint64_t dst = cluster.memory(1).alloc(64 * 128);
   fill_pattern(cluster.memory(0), src, 64 * 128, 3);
@@ -141,7 +156,7 @@ TEST(Rdma, ManySmallOpsAllComplete) {
 }
 
 TEST(Rdma, BidirectionalTrafficOnOneConnection) {
-  Cluster cluster(config_1l_1g(2));
+  CheckedCluster cluster(config_1l_1g(2));
   constexpr std::size_t kSize = 100000;
   const std::uint64_t a_src = cluster.memory(0).alloc(kSize);
   const std::uint64_t a_dst = cluster.memory(0).alloc(kSize);
@@ -168,7 +183,7 @@ TEST(Rdma, BidirectionalTrafficOnOneConnection) {
 }
 
 TEST(Rdma, TenGigClusterWorks) {
-  Cluster cluster(config_1l_10g(2));
+  CheckedCluster cluster(config_1l_10g(2));
   constexpr std::size_t kSize = 300000;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -182,7 +197,7 @@ TEST(Rdma, TenGigClusterWorks) {
 }
 
 TEST(Rdma, MultiLinkStripesAcrossBothRails) {
-  Cluster cluster(config_2l_1g(2));
+  CheckedCluster cluster(config_2l_1g(2));
   constexpr std::size_t kSize = 1 << 19;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -209,7 +224,7 @@ TEST(Rdma, MultiLinkStripesAcrossBothRails) {
 }
 
 TEST(Rdma, OutOfOrderModeDeliversCorrectly) {
-  Cluster cluster(config_2lu_1g(2));
+  CheckedCluster cluster(config_2lu_1g(2));
   constexpr std::size_t kSize = 1 << 19;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -223,7 +238,7 @@ TEST(Rdma, OutOfOrderModeDeliversCorrectly) {
 }
 
 TEST(Rdma, SixteenNodeMeshConnects) {
-  Cluster cluster(config_1l_1g(16));
+  CheckedCluster cluster(config_1l_1g(16));
   cluster.connect_all_mesh();
   // Every node initiated 15 connections and answered 15.
   for (int i = 0; i < 16; ++i) {
@@ -233,7 +248,7 @@ TEST(Rdma, SixteenNodeMeshConnects) {
 
 TEST(Rdma, HostOverheadIsAboutTwoMicroseconds) {
   // §4: "minimum host overhead is about 2us" to initiate an operation.
-  Cluster cluster(config_1l_10g(2));
+  CheckedCluster cluster(config_1l_10g(2));
   const std::uint64_t src = cluster.memory(0).alloc(64);
   const std::uint64_t dst = cluster.memory(1).alloc(64);
   sim::Time overhead = 0;

@@ -27,19 +27,45 @@ bool check_pattern(const proto::MemorySpace& mem, std::uint64_t va,
   return true;
 }
 
-// (drop probability, window frames, rails, in-order delivery)
-using LossParams = std::tuple<double, int, int, bool>;
+// Cluster with the protocol invariant checker enabled; verifies on teardown
+// that no invariant was violated during the test.
+struct CheckedCluster : Cluster {
+  explicit CheckedCluster(ClusterConfig cfg) : Cluster(enable(std::move(cfg))) {}
+  ~CheckedCluster() {
+    const std::vector<std::string> v = invariant_violations();
+    EXPECT_TRUE(v.empty()) << "first invariant violation: "
+                           << (v.empty() ? "" : v.front());
+  }
+  static ClusterConfig enable(ClusterConfig cfg) {
+    cfg.protocol.check_invariants = true;
+    return cfg;
+  }
+};
+
+// (drop probability, window frames, rails, in-order delivery,
+//  duplication probability, Gilbert-Elliott burst loss)
+using LossParams = std::tuple<double, int, int, bool, double, bool>;
 
 class ReliabilityTest : public ::testing::TestWithParam<LossParams> {};
 
 TEST_P(ReliabilityTest, AllDataDeliveredExactlyOnceUnderLoss) {
-  const auto [drop, window, rails, in_order] = GetParam();
+  const auto [drop, window, rails, in_order, dup, burst] = GetParam();
 
   ClusterConfig cfg = rails == 2 ? config_2l_1g(2) : config_1l_1g(2);
   cfg.topology.link.drop_prob = drop;
+  cfg.topology.link.dup_prob = dup;
+  if (burst) {
+    // Frequent short bursts with heavy in-burst loss: a few frames die
+    // back-to-back, then the link heals — the pattern i.i.d. drops miss.
+    cfg.topology.link.burst.enabled = true;
+    cfg.topology.link.burst.p_good_to_bad = 0.02;
+    cfg.topology.link.burst.p_bad_to_good = 0.2;
+    cfg.topology.link.burst.drop_bad = 0.5;
+  }
   cfg.protocol.window_frames = window;
   cfg.protocol.in_order_delivery = in_order;
-  Cluster cluster(cfg);
+  cfg.protocol.check_invariants = true;
+  CheckedCluster cluster(cfg);
 
   constexpr std::size_t kSize = 200 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
@@ -58,23 +84,65 @@ TEST_P(ReliabilityTest, AllDataDeliveredExactlyOnceUnderLoss) {
     const auto agg = cluster.engine(0).aggregate_counters();
     EXPECT_GT(agg.get("retransmissions"), 0u);
   }
+  if (dup > 0.0) {
+    // The wire duplicated frames and the receiver discarded every copy.
+    std::uint64_t wire_dups = 0;
+    for (int r = 0; r < rails; ++r) {
+      wire_dups += cluster.network().uplink(0, r).stats().frames_duplicated;
+    }
+    EXPECT_GT(wire_dups, 0u);
+    // (>= wire_dups would be wrong: a duplicated copy can itself be lost
+    // downstream of the duplicating channel.)
+    const auto agg = cluster.engine(1).aggregate_counters();
+    EXPECT_GT(agg.get("duplicates_discarded"), 0u);
+  }
+  if (burst) {
+    // The link actually cycled through bad states, lost frames there, and
+    // retransmissions repaired the bursts.
+    std::uint64_t transitions = 0, burst_drops = 0;
+    for (int r = 0; r < rails; ++r) {
+      transitions += cluster.network().uplink(0, r).stats().burst_transitions;
+      burst_drops +=
+          cluster.network().uplink(0, r).stats().frames_dropped_burst;
+    }
+    EXPECT_GT(transitions, 0u);
+    EXPECT_GT(burst_drops, 0u);
+    const auto agg = cluster.engine(0).aggregate_counters();
+    EXPECT_GT(agg.get("retransmissions"), 0u);
+  }
+  EXPECT_TRUE(cluster.invariant_violations().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(
     LossSweep, ReliabilityTest,
     ::testing::Values(
-        LossParams{0.00, 64, 1, true}, LossParams{0.001, 64, 1, true},
-        LossParams{0.01, 64, 1, true}, LossParams{0.05, 64, 1, true},
-        LossParams{0.15, 64, 1, true}, LossParams{0.01, 4, 1, true},
-        LossParams{0.01, 16, 1, true}, LossParams{0.01, 256, 1, true},
-        LossParams{0.01, 64, 2, true}, LossParams{0.05, 64, 2, true},
-        LossParams{0.01, 64, 2, false}, LossParams{0.05, 64, 2, false},
-        LossParams{0.15, 8, 2, false}));
+        // Uniform i.i.d. loss across windows, rails, and delivery modes.
+        LossParams{0.00, 64, 1, true, 0.0, false},
+        LossParams{0.001, 64, 1, true, 0.0, false},
+        LossParams{0.01, 64, 1, true, 0.0, false},
+        LossParams{0.05, 64, 1, true, 0.0, false},
+        LossParams{0.15, 64, 1, true, 0.0, false},
+        LossParams{0.01, 4, 1, true, 0.0, false},
+        LossParams{0.01, 16, 1, true, 0.0, false},
+        LossParams{0.01, 256, 1, true, 0.0, false},
+        LossParams{0.01, 64, 2, true, 0.0, false},
+        LossParams{0.05, 64, 2, true, 0.0, false},
+        LossParams{0.01, 64, 2, false, 0.0, false},
+        LossParams{0.05, 64, 2, false, 0.0, false},
+        LossParams{0.15, 8, 2, false, 0.0, false},
+        // Frame duplication, alone and combined with loss.
+        LossParams{0.00, 64, 1, true, 0.02, false},
+        LossParams{0.01, 64, 1, true, 0.05, false},
+        LossParams{0.01, 64, 2, false, 0.05, false},
+        // Gilbert-Elliott bursty loss, alone and with duplication.
+        LossParams{0.00, 64, 1, true, 0.0, true},
+        LossParams{0.00, 16, 2, false, 0.0, true},
+        LossParams{0.01, 64, 2, true, 0.02, true}));
 
 TEST(Reliability, SurvivesFcsCorruption) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.topology.link.corrupt_prob = 0.02;
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 100 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -90,7 +158,7 @@ TEST(Reliability, SurvivesFcsCorruption) {
 TEST(Reliability, SurvivesTransientLinkOutage) {
   // §2.4: transfers complete in the presence of transient link failures.
   ClusterConfig cfg = config_1l_1g(2);
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 256 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -113,7 +181,7 @@ TEST(Reliability, SurvivesTransientLinkOutage) {
 
 TEST(Reliability, SurvivesOutageOfOneRailOfTwo) {
   ClusterConfig cfg = config_2lu_1g(2);
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 256 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -128,9 +196,73 @@ TEST(Reliability, SurvivesOutageOfOneRailOfTwo) {
   EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 101));
 }
 
+TEST(Reliability, ScheduledRailFailureAndRecoveryMidTransfer) {
+  // A whole rail (both directions, every node) dies mid-transfer via the
+  // topology-level schedule and comes back: the transfer must finish over
+  // the surviving rail, with retransmissions repairing the frames that were
+  // in flight on the dead one, and resume striping after recovery.
+  ClusterConfig cfg = config_2lu_1g(2);
+  cfg.topology.rail_outages.push_back(
+      net::RailOutage{/*rail=*/1, /*node=*/-1, sim::ms(1), sim::ms(4)});
+  cfg.protocol.check_invariants = true;
+  CheckedCluster cluster(cfg);
+  constexpr std::size_t kSize = 1024 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 37);
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 37));
+  // Frames really died on rail 1 and were repaired.
+  EXPECT_GT(cluster.network().uplink(0, 1).stats().frames_dropped, 0u);
+  const auto agg = cluster.engine(0).aggregate_counters();
+  EXPECT_GT(agg.get("retransmissions"), 0u);
+  // The rail recovered: rail 1 carried traffic after the outage ended (the
+  // transfer is long enough to outlast it).
+  EXPECT_GT(cluster.network().uplink(0, 1).stats().frames_sent,
+            cluster.network().uplink(0, 1).stats().frames_dropped);
+  EXPECT_TRUE(cluster.invariant_violations().empty());
+}
+
+TEST(Reliability, SingleNodeRailOutageOnlyAffectsThatNode) {
+  // Scheduled outage scoped to node 0's rail-1 cable: node 2's links on the
+  // same rail keep working throughout.
+  ClusterConfig cfg = config_2lu_1g(3);
+  cfg.topology.rail_outages.push_back(
+      net::RailOutage{/*rail=*/1, /*node=*/0, sim::ms(1), sim::ms(3)});
+  cfg.protocol.check_invariants = true;
+  CheckedCluster cluster(cfg);
+  constexpr std::size_t kSize = 512 * 1024;
+  const std::uint64_t src0 = cluster.memory(0).alloc(kSize);
+  const std::uint64_t src2 = cluster.memory(2).alloc(kSize);
+  const std::uint64_t dst0 = cluster.memory(1).alloc(kSize);
+  const std::uint64_t dst2 = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src0, kSize, 41);
+  fill_pattern(cluster.memory(2), src2, kSize, 43);
+
+  cluster.spawn(0, "w0", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst0, src0, kSize, 0).wait();
+  });
+  cluster.spawn(2, "w2", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst2, src2, kSize, 0).wait();
+  });
+  cluster.run();
+
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst0, kSize, 41));
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst2, kSize, 43));
+  EXPECT_GT(cluster.network().uplink(0, 1).stats().frames_dropped, 0u);
+  EXPECT_EQ(cluster.network().uplink(2, 1).stats().frames_dropped, 0u);
+  EXPECT_TRUE(cluster.invariant_violations().empty());
+}
+
 TEST(Reliability, HandshakeSurvivesSynLoss) {
   ClusterConfig cfg = config_1l_1g(2);
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   // Drop everything for the first 5 ms: SYN and retries must recover.
   cluster.network().uplink(0, 0).faults().outages.push_back({0, sim::ms(5)});
   bool connected = false;
@@ -149,7 +281,7 @@ TEST(Reliability, DuplicateFramesAreSuppressed) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.topology.link.drop_prob = 0.05;
   cfg.protocol.retransmit_timeout = sim::us(500);  // aggressive RTO -> dups
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 128 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
@@ -165,7 +297,7 @@ TEST(Reliability, DuplicateFramesAreSuppressed) {
 TEST(Reliability, WindowNeverExceeded) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.protocol.window_frames = 8;
-  Cluster cluster(cfg);
+  CheckedCluster cluster(cfg);
   constexpr std::size_t kSize = 512 * 1024;
   const std::uint64_t src = cluster.memory(0).alloc(kSize);
   const std::uint64_t dst = cluster.memory(1).alloc(kSize);
