@@ -7,9 +7,14 @@
 //   A5  link-count scaling 1..4 rails (the paper's future-work direction)
 //   A6  robustness/goodput under forced loss rates
 //
-// Usage: ablations [--quick]
+// Usage: ablations [--quick] [--json[=path]]
+//   --json writes BENCH_ablations.json: every study's table serialized via
+//   stats::Table::to_json, keyed by study name.
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "core/microbench.hpp"
 #include "stats/table.hpp"
@@ -25,7 +30,7 @@ MicroParams big_msgs(bool quick) {
   return p;
 }
 
-void a1_window(bool quick) {
+stats::Table a1_window(bool quick) {
   std::cout << "-- A1: sliding-window size vs one-way throughput --\n";
   stats::Table t({"setup", "window", "MB/s", "window stalls"});
   for (const auto& [name, base] :
@@ -41,9 +46,10 @@ void a1_window(bool quick) {
   }
   t.print(std::cout);
   std::cout << "Paper: the default window does not limit 10G throughput.\n\n";
+  return t;
 }
 
-void a2_delayed_ack(bool quick) {
+stats::Table a2_delayed_ack(bool quick) {
   std::cout << "-- A2: delayed-ACK threshold vs extra frames --\n";
   stats::Table t({"ack threshold", "MB/s", "extra frames %"});
   for (std::uint32_t th : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u}) {
@@ -58,9 +64,10 @@ void a2_delayed_ack(bool quick) {
   t.print(std::cout);
   std::cout << "Piggy-backing + delayed acks keep extra traffic low (paper: "
                "<=5.5% in micro-benchmarks).\n\n";
+  return t;
 }
 
-void a3_striping(bool quick) {
+stats::Table a3_striping(bool quick) {
   std::cout << "-- A3: striping policy over 2 rails --\n";
   stats::Table t({"policy", "MB/s", "ooo %"});
   const std::pair<const char*, proto::StripingPolicy> policies[] = {
@@ -78,9 +85,10 @@ void a3_striping(bool quick) {
   t.print(std::cout);
   std::cout << "The paper uses round-robin; all policies must deliver ~2x "
                "one link.\n\n";
+  return t;
 }
 
-void a4_interrupts(bool quick) {
+stats::Table a4_interrupts(bool quick) {
   std::cout << "-- A4: interrupt moderation on/off --\n";
   stats::Table t({"moderation", "latency(us)", "MB/s", "cpu %"});
   for (bool on : {true, false}) {
@@ -103,9 +111,10 @@ void a4_interrupts(bool quick) {
   t.print(std::cout);
   std::cout << "Moderation trades ~20us of idle latency for a large CPU "
                "saving under streaming (§2.6's motivation).\n\n";
+  return t;
 }
 
-void a5_links(bool quick) {
+stats::Table a5_links(bool quick) {
   std::cout << "-- A5: link-count scaling (1-GBit/s rails) --\n";
   stats::Table t({"rails", "one-way MB/s", "two-way MB/s", "ooo %"});
   for (int rails = 1; rails <= 4; ++rails) {
@@ -122,9 +131,10 @@ void a5_links(bool quick) {
   t.print(std::cout);
   std::cout << "Decoupled spatial parallelism: throughput scales with rails "
                "until the hosts saturate (paper §6 future work).\n\n";
+  return t;
 }
 
-void a6_loss(bool quick) {
+stats::Table a6_loss(bool quick) {
   std::cout << "-- A6: goodput under forced frame loss --\n";
   stats::Table t({"drop prob", "MB/s", "retx", "extra %"});
   for (double p : {0.0, 0.0001, 0.001, 0.01, 0.05}) {
@@ -140,21 +150,37 @@ void a6_loss(bool quick) {
   t.print(std::cout);
   std::cout << "NACK-driven retransmission keeps goodput graceful under "
                "transient loss (§2.4).\n\n";
+  return t;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_ablations.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
   std::cout << "== MultiEdge ablation studies ==\n\n";
-  a1_window(quick);
-  a2_delayed_ack(quick);
-  a3_striping(quick);
-  a4_interrupts(quick);
-  a5_links(quick);
-  a6_loss(quick);
+  std::vector<std::pair<std::string, stats::Table>> tables;
+  tables.emplace_back("a1_window", a1_window(quick));
+  tables.emplace_back("a2_delayed_ack", a2_delayed_ack(quick));
+  tables.emplace_back("a3_striping", a3_striping(quick));
+  tables.emplace_back("a4_interrupts", a4_interrupts(quick));
+  tables.emplace_back("a5_links", a5_links(quick));
+  tables.emplace_back("a6_loss", a6_loss(quick));
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"ablations\",\n  \"quick\": "
+        << (quick ? "true" : "false");
+    for (const auto& [name, t] : tables) {
+      out << ",\n  \"" << name << "\": ";
+      t.to_json(out);
+    }
+    out << "\n}\n";
+    std::cout << "wrote " << json_path << '\n';
+  }
   return 0;
 }

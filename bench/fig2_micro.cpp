@@ -3,14 +3,20 @@
 // four system setups (1L-1G, 2L-1G, 2Lu-1G, 1L-10G), plus the §4 text's
 // network-level statistics (out-of-order fraction, extra frames, drops).
 //
-// Usage: fig2_micro [--quick] [--csv]
+// Usage: fig2_micro [--quick] [--csv] [--json[=path]]
+//   --json writes the machine-readable BENCH_fig2.json artifact (per-point
+//   metrics plus the per-op latency histogram) next to the console output.
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/microbench.hpp"
+#include "stats/json.hpp"
 #include "stats/table.hpp"
+#include "trace/export.hpp"
 
 namespace {
 
@@ -35,9 +41,12 @@ std::vector<Setup> setups() {
 int main(int argc, char** argv) {
   bool quick = false;
   bool csv = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_fig2.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
 
   std::vector<std::size_t> sizes = {64,        256,       1024,     4096,
@@ -53,10 +62,13 @@ int main(int argc, char** argv) {
             << "             one-way/two-way = host overhead to initiate an op\n"
             << "cpu%: protocol CPU utilization out of 200% (two CPUs/node)\n\n";
 
+  std::ostringstream points;  // JSON artifact body, built as we go
+  bool first_point = true;
+
   for (const auto& setup : setups()) {
     for (MicroBench b : benches) {
       stats::Table t({"setup", "bench", "size(B)", "latency(us)", "MB/s",
-                      "cpu%", "ooo%", "extra%", "drops"});
+                      "cpu%", "ooo%", "extra%", "drops", "coalesce"});
       for (std::size_t size : sizes) {
         MicroParams p;
         p.message_bytes = size;
@@ -71,7 +83,30 @@ int main(int argc, char** argv) {
             .cell(r.cpu_utilization * 100.0, 1)
             .cell(r.ooo_fraction() * 100.0, 1)
             .cell(r.extra_frame_fraction() * 100.0, 1)
-            .cell(r.dropped_frames);
+            .cell(r.dropped_frames)
+            .cell(r.coalescing_factor, 2);
+        if (!json_path.empty()) {
+          if (!first_point) points << ",\n";
+          first_point = false;
+          points << "    {\"setup\": \"" << setup.name << "\", \"bench\": \""
+                 << to_string(b) << "\", \"size_bytes\": " << size
+                 << ", \"latency_us\": " << stats::json::number(r.latency_us)
+                 << ", \"throughput_mbs\": "
+                 << stats::json::number(r.throughput_mbs)
+                 << ", \"cpu_utilization\": "
+                 << stats::json::number(r.cpu_utilization)
+                 << ", \"ooo_fraction\": "
+                 << stats::json::number(r.ooo_fraction())
+                 << ", \"extra_frame_fraction\": "
+                 << stats::json::number(r.extra_frame_fraction())
+                 << ", \"dropped_frames\": " << r.dropped_frames
+                 << ", \"retransmissions\": " << r.retransmissions
+                 << ", \"coalescing_factor\": "
+                 << stats::json::number(r.coalescing_factor)
+                 << ", \"op_latency_ns\": ";
+          trace::histogram_to_json(points, r.op_latency_ns);
+          points << "}";
+        }
       }
       if (csv) {
         t.print_csv(std::cout);
@@ -80,6 +115,14 @@ int main(int argc, char** argv) {
       }
       std::cout << '\n';
     }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"fig2_micro\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"points\": [\n"
+        << points.str() << "\n  ]\n}\n";
+    std::cout << "wrote " << json_path << '\n';
   }
 
   std::cout << "Paper reference points: 1G max ~120 MB/s (1L) / ~240 MB/s "

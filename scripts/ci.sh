@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Canonical verification entry point: configure, build, and run the tier-1
+# suite. This is what CI runs on every change and what a local checkout
+# should run before pushing.
+#
+# Usage:
+#   scripts/ci.sh                      # plain build + tier1
+#   MULTIEDGE_SANITIZE=ON scripts/ci.sh        # ASan+UBSan build
+#   MULTIEDGE_SANITIZE=address scripts/ci.sh   # pick specific sanitizers
+#   CTEST_LABEL=tier2 scripts/ci.sh            # run the stress tier instead
+#   CTEST_LABEL=trace scripts/ci.sh            # just the observability tests
+#
+# Environment:
+#   MULTIEDGE_SANITIZE  ""/OFF (default), ON (= address,undefined), or any
+#                       value accepted by -fsanitize=
+#   BUILD_DIR           build directory (default: build, or build-san when
+#                       sanitizers are on)
+#   CTEST_LABEL         ctest -L label to run (default: tier1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${MULTIEDGE_SANITIZE:-}"
+case "$SAN" in
+  OFF|off) SAN="" ;;
+  ON|on) SAN="address,undefined" ;;
+esac
+
+if [ -n "$SAN" ]; then
+  BUILD_DIR="${BUILD_DIR:-build-san}"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
+LABEL="${CTEST_LABEL:-tier1}"
+
+# Prefer Ninja for fresh build dirs; never fight an existing cache's
+# generator choice.
+GEN_ARGS=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  GEN_ARGS+=(-G Ninja)
+fi
+
+echo "== configure ($BUILD_DIR, sanitize='${SAN:-none}')"
+cmake -B "$BUILD_DIR" -S . "${GEN_ARGS[@]}" -DMULTIEDGE_SANITIZE="$SAN"
+
+echo "== build"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest -L $LABEL"
+ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$(nproc)"
+
+echo "== OK"

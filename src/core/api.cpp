@@ -1,7 +1,10 @@
 #include "core/api.hpp"
 
 #include <cassert>
+#include <ostream>
 #include <stdexcept>
+
+#include "trace/export.hpp"
 
 namespace multiedge {
 
@@ -201,6 +204,74 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
                                               *ns->app_cpu);
     nodes_.push_back(std::move(ns));
   }
+
+  if (cfg_.trace.enabled) setup_tracing();
+}
+
+void Cluster::setup_tracing() {
+  tracer_ = std::make_unique<trace::TraceRecorder>(cfg_.trace.ring_capacity);
+  trace::TraceRecorder* t = tracer_.get();
+  const int n = cfg_.topology.num_nodes;
+  const int rails = cfg_.topology.rails;
+  for (int i = 0; i < n; ++i) {
+    nodes_[i]->engine->set_tracer(t);
+    for (int r = 0; r < rails; ++r) {
+      network_->nic(i, r).set_tracer(t, i, r);
+      // Channel faults are attributed to the sender-side node of the link.
+      network_->uplink(i, r).set_tracer(t, i, r);
+      network_->downlink(i, r).set_tracer(t, i, r);
+    }
+  }
+
+  if (cfg_.trace.sample_interval <= 0) return;
+  for (int i = 0; i < n; ++i) {
+    const std::string p = "n" + std::to_string(i) + ".";
+    series_.push_back(
+        std::make_unique<trace::TimeSeries>(p + "window_occupancy"));
+    series_.push_back(
+        std::make_unique<trace::TimeSeries>(p + "outstanding_ops"));
+    for (int r = 0; r < rails; ++r) {
+      const std::string rp = p + "rail" + std::to_string(r) + ".";
+      series_.push_back(std::make_unique<trace::TimeSeries>(rp + "tx_q"));
+      series_.push_back(std::make_unique<trace::TimeSeries>(rp + "rx_q"));
+    }
+  }
+  sample_timer_ = std::make_unique<sim::Timer>(sim_, [this] {
+    sample_time_series();
+    sample_timer_->schedule(cfg_.trace.sample_interval);
+  });
+  sample_timer_->schedule(cfg_.trace.sample_interval);
+}
+
+void Cluster::sample_time_series() {
+  // Pure observation: reads state, charges no CPU, schedules nothing but its
+  // own timer — so sampling cannot perturb protocol behaviour.
+  const sim::Time now = sim_.now();
+  const int rails = cfg_.topology.rails;
+  std::size_t s = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    double window = 0, ops = 0;
+    for (const auto& c : nodes_[i]->engine->connections()) {
+      window += static_cast<double>(c->frames_in_flight());
+      ops += static_cast<double>(c->outstanding_ops());
+    }
+    series_[s++]->sample(now, window);
+    series_[s++]->sample(now, ops);
+    for (int r = 0; r < rails; ++r) {
+      const net::Nic& nic = network_->nic(i, r);
+      series_[s++]->sample(
+          now, static_cast<double>(nic.config().tx_ring_slots - nic.tx_space()));
+      series_[s++]->sample(now, static_cast<double>(nic.rx_pending()));
+    }
+  }
+}
+
+void Cluster::write_trace(std::ostream& os) const {
+  if (!tracer_) return;
+  std::vector<const trace::TimeSeries*> series;
+  series.reserve(series_.size());
+  for (const auto& s : series_) series.push_back(s.get());
+  trace::write_chrome_trace(os, *tracer_, series);
 }
 
 Cluster::~Cluster() {

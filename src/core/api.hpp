@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +34,9 @@
 #include "sim/cpu.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "trace/timeseries.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge {
 
@@ -200,6 +204,9 @@ struct ClusterConfig {
   proto::ProtocolConfig protocol;
   proto::HostCostModel costs;
   std::size_t memory_bytes_per_node = std::size_t{64} << 20;
+  /// Event tracing + periodic samplers (off by default: no recorder is
+  /// constructed and every hook reduces to one null check).
+  trace::TraceConfig trace;
 };
 
 /// The paper's experimental setups (§3).
@@ -252,6 +259,18 @@ class Cluster {
   /// Paper-style protocol CPU utilization of `node` out of 2.0 (two CPUs).
   double protocol_cpu_utilization(int node) const;
 
+  // --- observability (ClusterConfig::trace) ---
+  /// The cluster-wide trace recorder, or nullptr when tracing is off.
+  trace::TraceRecorder* tracer() { return tracer_.get(); }
+  /// Periodic samplers (window occupancy, rail queue depth, outstanding
+  /// ops); empty when tracing or sampling is off.
+  const std::vector<std::unique_ptr<trace::TimeSeries>>& time_series() const {
+    return series_;
+  }
+  /// Write the Chrome trace-event JSON (events + counter tracks) for this
+  /// run. No-op if tracing is off.
+  void write_trace(std::ostream& os) const;
+
  private:
   struct NodeState {
     std::unique_ptr<proto::MemorySpace> memory;
@@ -264,11 +283,19 @@ class Cluster {
     sim::Time window_start = 0;
   };
 
+  void setup_tracing();
+  void sample_time_series();
+
   ClusterConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::unique_ptr<sim::Process>> processes_;
+
+  std::unique_ptr<trace::TraceRecorder> tracer_;
+  // Per node: [window_occupancy, outstanding_ops, rail0.tx_q, rail0.rx_q, ...]
+  std::vector<std::unique_ptr<trace::TimeSeries>> series_;
+  std::unique_ptr<sim::Timer> sample_timer_;
 };
 
 }  // namespace multiedge

@@ -74,6 +74,7 @@ MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params) {
     bool measuring = false;
     stats::Counters base0, base1;
     std::uint64_t drops_base = 0;
+    trace::LatencyHistogram lat_ns;
   } sh;
 
   auto begin_measurement = [&](Cluster& c) {
@@ -101,9 +102,13 @@ MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params) {
         ep.wait_notification();
         begin_measurement(cluster);
         for (int i = 0; i < iters; ++i) {
+          const sim::Time t0 = cluster.sim().now();
           c.rdma_write(dst1, src0, static_cast<std::uint32_t>(size),
                        kOpFlagNotify);
           ep.wait_notification();
+          // Half the round trip, in nanoseconds.
+          sh.lat_ns.record(
+              static_cast<std::uint64_t>((cluster.sim().now() - t0) / 2000));
         }
         sh.t_end = cluster.sim().now();
       });
@@ -128,6 +133,8 @@ MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params) {
           c.rdma_write(dst1, src0, static_cast<std::uint32_t>(size),
                        i + 1 == iters ? last_op_flags : kOpFlagNone);
           sh.submit_time_total += cluster.sim().now() - t0;
+          sh.lat_ns.record(
+              static_cast<std::uint64_t>((cluster.sim().now() - t0) / 1000));
         }
       });
       cluster.spawn(1, "ow1", [&](Endpoint& ep) {
@@ -155,7 +162,11 @@ MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params) {
             const sim::Time t0 = cluster.sim().now();
             c.rdma_write(peer_dst, my_src, static_cast<std::uint32_t>(size),
                          i + 1 == iters ? last_op_flags : kOpFlagNone);
-            if (n == 0) sh.submit_time_total += cluster.sim().now() - t0;
+            if (n == 0) {
+              sh.submit_time_total += cluster.sim().now() - t0;
+              sh.lat_ns.record(
+                  static_cast<std::uint64_t>((cluster.sim().now() - t0) / 1000));
+            }
           }
           ep.wait_notification();  // peer's last op landed here
           sh.t_end = std::max(sh.t_end, cluster.sim().now());
@@ -191,6 +202,10 @@ MicroResult run_micro(ClusterConfig cfg, MicroBench bench, MicroParams params) {
   r.ack_frames = all.get("ack_frames_sent");
   r.retransmissions = all.get("retransmissions");
   r.dropped_frames = drops_now(cluster).total - sh.drops_base;
+  const std::uint64_t wakeups = all.get("thread_wakeups");
+  r.coalescing_factor =
+      wakeups ? static_cast<double>(all.get("thread_events")) / wakeups : 0.0;
+  r.op_latency_ns = sh.lat_ns;
   return r;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "trace/histogram.hpp"
 
 namespace multiedge {
 
@@ -37,6 +38,13 @@ struct MicroResult {
   std::uint64_t ack_frames = 0;       // explicit ACK/NACK frames
   std::uint64_t retransmissions = 0;  // data frames retransmitted
   std::uint64_t dropped_frames = 0;   // lost in the network (links+switches+NICs)
+
+  /// Events processed per protocol-thread wakeup over the measurement window
+  /// (§2.6's interrupt-coalescing factor); > 1.0 whenever batching works.
+  double coalescing_factor = 0;
+  /// Per-operation latency distribution (ns): ping-pong records per-iteration
+  /// one-way times, one-/two-way record per-op initiation overhead.
+  trace::LatencyHistogram op_latency_ns;
 
   double ooo_fraction() const {
     return data_frames ? static_cast<double>(ooo_frames) / data_frames : 0.0;

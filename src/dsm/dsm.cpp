@@ -186,6 +186,11 @@ void Dsm::fetch_batch(std::uint32_t first, std::uint32_t last) {
     h.wait();
     pages_[p].state = PageState::kReadOnly;
     stats_.pages_fetched += 1;
+    if (auto* t = ep_.cluster().tracer()) {
+      t->record_span(t0, ep_.cluster().sim().now() - t0,
+                     trace::EventType::kDsmPageFetch, rank_, -1, -1, p,
+                     cfg.page_bytes);
+    }
   }
   stats_.data_wait += ep_.cluster().sim().now() - t0;
 }
@@ -221,6 +226,8 @@ NoticeSection Dsm::flush_dirty(int fence_peer) {
   for (std::uint32_t page : dirty_pages_) {
     Page& p = pages_[page];
     assert(p.state == PageState::kDirty && p.twin);
+    const sim::Time flush_t0 = ep_.cluster().sim().now();
+    const std::uint64_t diff_bytes_before = stats_.diff_bytes;
 
     const sim::Time diff_cost = static_cast<sim::Time>(
         cfg.diff_ns_per_byte * cfg.page_bytes * sim::kNanosecond);
@@ -273,6 +280,11 @@ NoticeSection Dsm::flush_dirty(int fence_peer) {
       if (home_of(page) != fence_peer) waits.push_back(h);
     }
 
+    if (auto* t = ep_.cluster().tracer()) {
+      t->record_span(flush_t0, ep_.cluster().sim().now() - flush_t0,
+                     trace::EventType::kDsmDiffFlush, rank_, -1, -1, page,
+                     stats_.diff_bytes - diff_bytes_before);
+    }
     p.twin.reset();
     p.state = p.stale_while_dirty ? PageState::kInvalid : PageState::kReadOnly;
     p.stale_while_dirty = false;

@@ -39,6 +39,10 @@ void Channel::send(FramePtr frame) {
 
   if (faults_.in_outage(sim_.now()) || rng_.chance(faults_.drop_prob)) {
     ++stats_.frames_dropped;
+    if (tracer_) {
+      tracer_->record(sim_.now(), trace::EventType::kWireDrop, trace_node_,
+                      trace_rail_, -1, frame->payload.size());
+    }
     return;
   }
   if (faults_.burst.enabled &&
@@ -46,10 +50,18 @@ void Channel::send(FramePtr frame) {
                              : faults_.burst.drop_good)) {
     ++stats_.frames_dropped;
     ++stats_.frames_dropped_burst;
+    if (tracer_) {
+      tracer_->record(sim_.now(), trace::EventType::kWireDrop, trace_node_,
+                      trace_rail_, -1, frame->payload.size());
+    }
     return;
   }
   if (rng_.chance(faults_.corrupt_prob)) {
     ++stats_.frames_corrupted;
+    if (tracer_) {
+      tracer_->record(sim_.now(), trace::EventType::kWireCorrupt, trace_node_,
+                      trace_rail_, -1, frame->payload.size());
+    }
     auto damaged = std::make_shared<Frame>(*frame);
     damaged->fcs_bad = true;
     frame = damaged;

@@ -17,6 +17,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::net {
 
@@ -93,6 +94,14 @@ class Channel {
   const Stats& stats() const { return stats_; }
   bool in_burst_bad_state() const { return burst_bad_; }
 
+  /// Attach the trace recorder (nullptr disables); drop/corrupt events are
+  /// tagged with this node/rail.
+  void set_tracer(trace::TraceRecorder* t, int node, int rail) {
+    tracer_ = t;
+    trace_node_ = node;
+    trace_rail_ = rail;
+  }
+
  private:
   void schedule_delivery(FramePtr frame);
 
@@ -106,6 +115,9 @@ class Channel {
   sim::Time tx_free_at_ = 0;
   bool burst_bad_ = false;
   Stats stats_;
+  trace::TraceRecorder* tracer_ = nullptr;
+  int trace_node_ = -1;
+  int trace_rail_ = -1;
 };
 
 }  // namespace multiedge::net

@@ -24,6 +24,11 @@ void Nic::start_next_tx() {
   FramePtr frame = std::move(tx_ring_.front());
   tx_ring_.pop_front();
   ++stats_.tx_frames;
+  if (tracer_) {
+    tracer_->record(sim_.now(), trace::EventType::kNicTx, trace_node_,
+                    trace_rail_, -1, frame->payload.size(),
+                    frame->wire_bytes());
+  }
   tx_channel_->send(std::move(frame));
 }
 
@@ -70,6 +75,10 @@ void Nic::deliver(FramePtr frame) {
       ++stats_.rx_ring_drops;
       return;
     }
+    if (tracer_) {
+      tracer_->record(sim_.now(), trace::EventType::kNicRx, trace_node_,
+                      trace_rail_, -1, f->payload.size(), f->wire_bytes());
+    }
     rx_ring_.push_back(std::move(f));
     ++stats_.rx_frames;
     note_irq_event(/*maskable=*/true);
@@ -101,6 +110,10 @@ void Nic::on_coalesce_timeout() {
 }
 
 void Nic::fire_irq() {
+  if (tracer_) {
+    tracer_->record(sim_.now(), trace::EventType::kIrq, trace_node_,
+                    trace_rail_, -1, 0, coalesce_count_);
+  }
   coalesce_count_ = 0;
   unmaskable_waiting_ = false;
   coalesce_timer_.cancel();

@@ -19,6 +19,7 @@
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "sim/time.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::net {
 
@@ -89,6 +90,14 @@ class Nic : public FrameSink {
   const NicConfig& config() const { return cfg_; }
   const Stats& stats() const { return stats_; }
 
+  /// Attach the trace recorder (nullptr disables). `node`/`rail` identify
+  /// this NIC's track in the exported trace.
+  void set_tracer(trace::TraceRecorder* t, int node, int rail) {
+    tracer_ = t;
+    trace_node_ = node;
+    trace_rail_ = rail;
+  }
+
   // --- Wire-facing (FrameSink) ---
   void deliver(FramePtr frame) override;
 
@@ -118,6 +127,10 @@ class Nic : public FrameSink {
   bool unmaskable_waiting_ = false;
   sim::Timer coalesce_timer_;
   Stats stats_;
+
+  trace::TraceRecorder* tracer_ = nullptr;
+  int trace_node_ = -1;
+  int trace_rail_ = -1;
 };
 
 }  // namespace multiedge::net

@@ -7,6 +7,34 @@
 
 namespace multiedge::proto {
 
+namespace {
+// Hot-path (per-frame / per-op) counters, interned once.
+const stats::CounterId kCtrDataFramesSent =
+    stats::CounterRegistry::intern("data_frames_sent");
+const stats::CounterId kCtrDataBytesSent =
+    stats::CounterRegistry::intern("data_bytes_sent");
+const stats::CounterId kCtrDataFramesRcvd =
+    stats::CounterRegistry::intern("data_frames_rcvd");
+const stats::CounterId kCtrDataBytesRcvd =
+    stats::CounterRegistry::intern("data_bytes_rcvd");
+const stats::CounterId kCtrAckFramesSent =
+    stats::CounterRegistry::intern("ack_frames_sent");
+const stats::CounterId kCtrAckFramesRcvd =
+    stats::CounterRegistry::intern("ack_frames_rcvd");
+const stats::CounterId kCtrOpsSubmitted =
+    stats::CounterRegistry::intern("ops_submitted");
+const stats::CounterId kCtrOpsCompleted =
+    stats::CounterRegistry::intern("ops_completed");
+const stats::CounterId kCtrBytesSubmitted =
+    stats::CounterRegistry::intern("bytes_submitted");
+const stats::CounterId kCtrWindowStalls =
+    stats::CounterRegistry::intern("window_stalls");
+const stats::CounterId kCtrRetransmissions =
+    stats::CounterRegistry::intern("retransmissions");
+const stats::CounterId kCtrOooFramesRcvd =
+    stats::CounterRegistry::intern("ooo_frames_rcvd");
+}  // namespace
+
 Connection::Connection(Engine& engine, std::uint32_t local_id, int peer_node,
                        std::vector<Link> links, bool initiator)
     : engine_(engine),
@@ -71,9 +99,14 @@ SendOpPtr Connection::submit_write(std::uint64_t remote_va,
 
   fragment_op(FrameKind::kData, OpType::kWrite, *op, dep, remote_va, 0, data,
               op->size);
+  op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
-  counters_.add("ops_submitted");
-  counters_.add("bytes_submitted", data.size());
+  counters_.add(kCtrOpsSubmitted);
+  counters_.add(kCtrBytesSubmitted, data.size());
+  if (auto* t = engine_.tracer()) {
+    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
+              -1, static_cast<int>(local_id_), op->op_id, op->size);
+  }
   try_transmit(cpu);
   return op;
 }
@@ -93,10 +126,15 @@ SendOpPtr Connection::submit_scatter_write(std::uint64_t remote_base_va,
 
   fragment_op(FrameKind::kData, OpType::kScatterWrite, *op, dep, remote_base_va,
               0, encoded, op->size);
+  op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
-  counters_.add("ops_submitted");
+  counters_.add(kCtrOpsSubmitted);
   counters_.add("scatter_ops_submitted");
-  counters_.add("bytes_submitted", encoded.size());
+  counters_.add(kCtrBytesSubmitted, encoded.size());
+  if (auto* t = engine_.tracer()) {
+    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
+              -1, static_cast<int>(local_id_), op->op_id, op->size);
+  }
   try_transmit(cpu);
   return op;
 }
@@ -118,8 +156,13 @@ SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_v
   // the source at the target, aux_va the destination at the initiator.
   fragment_op(FrameKind::kReadReq, OpType::kWrite, *op, dep, remote_va,
               local_va, {}, size);
+  op->submitted_at = engine_.sim().now();
   pending_reads_[op->op_id] = op;
   counters_.add("reads_submitted");
+  if (auto* t = engine_.tracer()) {
+    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
+              -1, static_cast<int>(local_id_), op->op_id, op->size);
+  }
   try_transmit(cpu);
   return op;
 }
@@ -136,6 +179,7 @@ void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va
   // honoured when the response was generated.
   fragment_op(FrameKind::kData, OpType::kReadResp, *op, kNoFenceDep, dst_va,
               req_op_id, engine_.memory().view(src_va, size), size);
+  op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
   counters_.add("read_responses");
   counters_.add("bytes_submitted", size);
@@ -163,7 +207,7 @@ std::size_t Connection::pick_link() {
 }
 
 bool Connection::transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
-                                       sim::Cpu& cpu) {
+                                       std::uint64_t seq, sim::Cpu& cpu) {
   const std::size_t start = pick_link();
   for (std::size_t i = 0; i < links_.size(); ++i) {
     const std::size_t li = (start + i) % links_.size();
@@ -174,8 +218,13 @@ bool Connection::transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
     if (link.drv->transmit(frame)) {
       rr_next_link_ = (li + 1) % links_.size();
       cpu.charge(engine_.costs().tx_frame_cost);
-      counters_.add("data_frames_sent");
-      counters_.add("data_bytes_sent", frame->payload.size());
+      counters_.add(kCtrDataFramesSent);
+      counters_.add(kCtrDataBytesSent, frame->payload.size());
+      if (auto* t = engine_.tracer()) {
+        t->record(engine_.sim().now(), trace::EventType::kDataTx,
+                  engine_.node_id(), static_cast<int>(li),
+                  static_cast<int>(local_id_), seq, frame->payload.size());
+      }
       return true;
     }
   }
@@ -201,8 +250,12 @@ void Connection::try_transmit(sim::Cpu& cpu) {
       continue;
     }
     auto clone = std::make_shared<net::Frame>(*of.frame);
-    if (!transmit_on_some_link(clone, cpu)) break;
-    counters_.add("retransmissions");
+    if (!transmit_on_some_link(clone, of.seq, cpu)) break;
+    counters_.add(kCtrRetransmissions);
+    if (auto* t = engine_.tracer()) {
+      t->record(engine_.sim().now(), trace::EventType::kRetransmit,
+                engine_.node_id(), -1, static_cast<int>(local_id_), of.seq);
+    }
     if (auto* ck = engine_.checker()) {
       ck->on_frame_sent(*this, of.seq, unacked_.size(),
                         engine_.config().window_frames);
@@ -216,10 +269,26 @@ void Connection::try_transmit(sim::Cpu& cpu) {
   while (retx_queue_.empty() && !pending_.empty()) {
     OutFrame& of = pending_.front();
     if (of.seq >= snd_una_ + engine_.config().window_frames) {
-      counters_.add("window_stalls");
+      counters_.add(kCtrWindowStalls);
+      if (!window_stalled_) {
+        window_stalled_ = true;
+        if (auto* t = engine_.tracer()) {
+          t->record(engine_.sim().now(), trace::EventType::kWindowStall,
+                    engine_.node_id(), -1, static_cast<int>(local_id_),
+                    snd_una_);
+        }
+      }
       break;
     }
-    if (!transmit_on_some_link(of.frame, cpu)) break;
+    if (!transmit_on_some_link(of.frame, of.seq, cpu)) break;
+    if (window_stalled_) {
+      window_stalled_ = false;
+      if (auto* t = engine_.tracer()) {
+        t->record(engine_.sim().now(), trace::EventType::kWindowResume,
+                  engine_.node_id(), -1, static_cast<int>(local_id_),
+                  snd_una_);
+      }
+    }
     unacked_.emplace(of.seq, std::move(of.frame));
     if (auto* ck = engine_.checker()) {
       ck->on_frame_sent(*this, of.seq, unacked_.size(),
@@ -259,7 +328,13 @@ void Connection::complete_acked_ops(sim::Cpu& cpu) {
     write_ops_.pop_front();
     op->complete = true;
     op->progress_bytes = op->size;
-    counters_.add("ops_completed");
+    counters_.add(kCtrOpsCompleted);
+    if (auto* t = engine_.tracer()) {
+      t->record_span(op->submitted_at,
+                     engine_.sim().now() - op->submitted_at,
+                     trace::EventType::kOpComplete, engine_.node_id(), -1,
+                     static_cast<int>(local_id_), op->op_id, op->size);
+    }
     op->waiters.notify_all();
     if (op->on_complete) op->on_complete();
   }
@@ -275,7 +350,11 @@ void Connection::complete_acked_ops(sim::Cpu& cpu) {
 }
 
 void Connection::handle_ack_frame(const DecodedFrame& df, sim::Cpu& cpu) {
-  counters_.add("ack_frames_rcvd");
+  counters_.add(kCtrAckFramesRcvd);
+  if (auto* t = engine_.tracer()) {
+    t->record(engine_.sim().now(), trace::EventType::kAckRx, engine_.node_id(),
+              -1, static_cast<int>(local_id_), df.hdr.ack, df.nacks.size());
+  }
   process_ack(df.hdr.ack, cpu);
   if (!df.nacks.empty()) {
     counters_.add("nacks_rcvd", df.nacks.size());
@@ -310,8 +389,13 @@ void Connection::on_retransmit_timeout(sim::Cpu& cpu) {
 void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
                                    sim::Cpu& cpu) {
   const WireHeader& h = df.hdr;
-  counters_.add("data_frames_rcvd");
-  counters_.add("data_bytes_rcvd", frame->payload.size());
+  counters_.add(kCtrDataFramesRcvd);
+  counters_.add(kCtrDataBytesRcvd, frame->payload.size());
+  if (auto* t = engine_.tracer()) {
+    t->record(engine_.sim().now(), trace::EventType::kDataRx,
+              engine_.node_id(), -1, static_cast<int>(local_id_), h.seq,
+              frame->payload.size());
+  }
 
   const std::uint64_t seq = h.seq;
   const bool in_order_mode = engine_.config().in_order_delivery;
@@ -330,7 +414,7 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
   BufferedFrag frag{std::move(frame), h, df.data};
 
   if (seq > rcv_nxt_) {
-    counters_.add("ooo_frames_rcvd");
+    counters_.add(kCtrOooFramesRcvd);
     // Record any newly-opened gaps below this frame.
     std::uint64_t scan_from = rcv_nxt_;
     if (!gaps_.empty()) scan_from = std::max(scan_from, gaps_.rbegin()->first + 1);
@@ -467,8 +551,12 @@ void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
     counters_.add("ack_send_failed");
     return;
   }
-  counters_.add("ack_frames_sent");
+  counters_.add(kCtrAckFramesSent);
   if (!nacks.empty()) counters_.add("nacks_sent", nacks.size());
+  if (auto* t = engine_.tracer()) {
+    t->record(engine_.sim().now(), trace::EventType::kAckTx, engine_.node_id(),
+              -1, static_cast<int>(local_id_), rcv_nxt_, nacks.size());
+  }
   rx_since_ack_ = 0;
   ack_on_idle_ = false;
   ack_timer_.cancel();
@@ -546,6 +634,10 @@ void Connection::apply_or_block(BufferedFrag frag, sim::Cpu& cpu) {
     maybe_complete(op, cpu);
   } else {
     counters_.add("fence_blocked_frames");
+    if (auto* t = engine_.tracer()) {
+      t->record(engine_.sim().now(), trace::EventType::kFenceBlocked,
+                engine_.node_id(), -1, static_cast<int>(local_id_), op.op_id);
+    }
     op.blocked.push_back(std::move(frag));
   }
 }
@@ -602,6 +694,12 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
       pending_reads_.erase(it);
       rop->complete = true;
       counters_.add("reads_completed");
+      if (auto* t = engine_.tracer()) {
+        t->record_span(rop->submitted_at,
+                       engine_.sim().now() - rop->submitted_at,
+                       trace::EventType::kOpComplete, engine_.node_id(), -1,
+                       static_cast<int>(local_id_), rop->op_id, rop->size);
+      }
       rop->waiters.notify_all();
       if (rop->on_complete) rop->on_complete();
     }
@@ -631,6 +729,11 @@ void Connection::unblock_ops(sim::Cpu& cpu) {
       if (!op.blocked.empty() && fences_satisfied(op)) {
         std::vector<BufferedFrag> frags = std::move(op.blocked);
         op.blocked.clear();
+        if (auto* t = engine_.tracer()) {
+          t->record(engine_.sim().now(), trace::EventType::kFenceRelease,
+                    engine_.node_id(), -1, static_cast<int>(local_id_),
+                    op.op_id, frags.size());
+        }
         for (const auto& fr : frags) apply_frag(op, fr, cpu);
         maybe_complete(op, cpu);  // may erase `op` and recurse
         progress = true;

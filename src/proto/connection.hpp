@@ -132,6 +132,11 @@ class Connection {
   std::size_t reorder_buffer_depth() const {
     return ooo_buffer_.size() + rcvd_above_.size();
   }
+  /// Submitted-but-uncompleted operations (writes awaiting acks plus reads
+  /// awaiting response data) — sampled by the outstanding-ops time series.
+  std::size_t outstanding_ops() const {
+    return write_ops_.size() + pending_reads_.size();
+  }
 
  private:
   friend class Engine;
@@ -184,7 +189,7 @@ class Connection {
                             sim::Cpu& cpu);
   std::size_t pick_link();
   bool transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
-                             sim::Cpu& cpu);
+                             std::uint64_t seq, sim::Cpu& cpu);
   void complete_acked_ops(sim::Cpu& cpu);
 
   void accept_new_seq(std::uint64_t seq);
@@ -220,6 +225,7 @@ class Connection {
   std::deque<SendOpPtr> write_ops_;                  // await ack completion
   std::map<std::uint64_t, SendOpPtr> pending_reads_;  // await response data
   std::size_t rr_next_link_ = 0;
+  bool window_stalled_ = false;  // for stall/resume edge-trigger tracing
   sim::Timer retransmit_timer_;
 
   // ---- receive side ----

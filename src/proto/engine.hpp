@@ -29,6 +29,7 @@
 #include "sim/timer.hpp"
 #include "sim/wait_queue.hpp"
 #include "stats/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::proto {
 
@@ -73,6 +74,10 @@ class Engine {
   sim::Cpu& proto_cpu() { return proto_cpu_; }
   /// Non-null only when config().check_invariants (test instrumentation).
   InvariantChecker* checker() const { return checker_.get(); }
+  /// Trace recorder shared by this node's protocol stack (nullptr when
+  /// tracing is off). Connections and the DSM record through this.
+  trace::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(trace::TraceRecorder* t) { tracer_ = t; }
   void deliver_notification(Notification n, sim::Cpu& cpu);
   /// Register a connection that still has frames waiting for window/ring.
   void note_backlog(Connection* conn) { backlog_.insert(conn); }
@@ -137,6 +142,7 @@ class Engine {
   std::set<Connection*> backlog_;
   bool thread_active_ = false;
   std::unique_ptr<InvariantChecker> checker_;
+  trace::TraceRecorder* tracer_ = nullptr;
   stats::Counters counters_;
 };
 

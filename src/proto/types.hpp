@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/time.hpp"
 #include "sim/wait_queue.hpp"
 
 namespace multiedge::proto {
@@ -34,6 +35,9 @@ struct SendOp {
   /// Bytes acknowledged so far (writes) — the progress-query primitive the
   /// paper's API exposes through operation handles (§2.2).
   std::uint32_t progress_bytes = 0;
+  /// Submission time; op-completion trace spans and latency histograms
+  /// measure from here.
+  sim::Time submitted_at = 0;
 
   /// Fibers blocked in OpHandle::wait().
   sim::WaitQueue waiters;

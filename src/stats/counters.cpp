@@ -1,12 +1,73 @@
 #include "stats/counters.hpp"
 
+#include <cassert>
+
 namespace multiedge::stats {
+
+namespace {
+
+// Function-local statics so the registry is usable from any static
+// initializer (counter ids interned at namespace scope in other TUs).
+struct RegistryState {
+  std::map<std::string, std::uint32_t, std::less<>> ids;
+  std::vector<std::string> names;
+};
+
+RegistryState& registry() {
+  static RegistryState state;
+  return state;
+}
+
+}  // namespace
+
+CounterId CounterRegistry::intern(std::string_view name) {
+  RegistryState& r = registry();
+  const auto it = r.ids.find(name);
+  if (it != r.ids.end()) return CounterId(it->second);
+  const auto idx = static_cast<std::uint32_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.ids.emplace(r.names.back(), idx);
+  return CounterId(idx);
+}
+
+CounterId CounterRegistry::find(std::string_view name) {
+  const RegistryState& r = registry();
+  const auto it = r.ids.find(name);
+  return it != r.ids.end() ? CounterId(it->second) : CounterId();
+}
+
+const std::string& CounterRegistry::name(CounterId id) {
+  const RegistryState& r = registry();
+  assert(id.valid() && id.index() < r.names.size());
+  return r.names[id.index()];
+}
+
+std::size_t CounterRegistry::size() { return registry().names.size(); }
+
+std::map<std::string, Counters::Value> Counters::all() const {
+  std::map<std::string, Value> out;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != 0) out[CounterRegistry::name(CounterId(static_cast<std::uint32_t>(i)))] = values_[i];
+  }
+  return out;
+}
+
+void Counters::merge(const Counters& other) {
+  if (values_.size() < other.values_.size()) {
+    values_.resize(other.values_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+}
 
 Counters Counters::diff(const Counters& base) const {
   Counters out;
-  for (const auto& [k, v] : values_) {
-    const Value b = base.get(k);
-    if (v > b) out.values_[k] = v - b;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const Value b = i < base.values_.size() ? base.values_[i] : 0;
+    if (values_[i] > b) {
+      out.add(CounterId(static_cast<std::uint32_t>(i)), values_[i] - b);
+    }
   }
   return out;
 }

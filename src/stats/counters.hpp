@@ -4,35 +4,80 @@
 // Benches snapshot counters at the start of a measurement phase and report
 // diffs, so warmup traffic (connection setup, first-touch page faults) does
 // not pollute the reported statistics.
+//
+// Counter names are interned process-wide into dense CounterId handles, and a
+// Counters block is a plain vector indexed by handle. Hot paths (per-frame
+// protocol counters) intern their names once at startup and call
+// add(CounterId), which is a bounds check plus a vector add — no per-event
+// string hashing or map lookup. The string-keyed add()/get() overloads remain
+// as a compatibility shim for cold paths and tests.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace multiedge::stats {
+
+/// Dense process-wide handle for one counter name.
+class CounterId {
+ public:
+  constexpr CounterId() = default;
+  std::uint32_t index() const { return idx_; }
+  bool valid() const { return idx_ != kInvalid; }
+  friend bool operator==(CounterId a, CounterId b) { return a.idx_ == b.idx_; }
+
+ private:
+  friend class CounterRegistry;
+  friend class Counters;
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  explicit constexpr CounterId(std::uint32_t i) : idx_(i) {}
+  std::uint32_t idx_ = kInvalid;
+};
+
+/// Process-wide name <-> CounterId interner. Ids are assigned densely in
+/// interning order and never recycled.
+class CounterRegistry {
+ public:
+  /// Id for `name`, interning it on first use.
+  static CounterId intern(std::string_view name);
+  /// Id for `name` if already interned, invalid CounterId otherwise.
+  static CounterId find(std::string_view name);
+  static const std::string& name(CounterId id);
+  static std::size_t size();
+};
 
 class Counters {
  public:
   using Value = std::uint64_t;
 
-  /// Add `delta` to counter `name`, creating it at zero if absent.
-  void add(const std::string& name, Value delta = 1) { values_[name] += delta; }
+  /// Hot path: add `delta` to an interned counter.
+  void add(CounterId id, Value delta = 1) {
+    if (values_.size() <= id.index()) values_.resize(id.index() + 1, 0);
+    values_[id.index()] += delta;
+  }
+
+  /// Compatibility shim: add by name (interns on first use; pays one registry
+  /// lookup per call — fine off the hot path).
+  void add(const std::string& name, Value delta = 1) {
+    add(CounterRegistry::intern(name), delta);
+  }
 
   /// Read a counter (0 if it never fired).
-  Value get(const std::string& name) const {
-    auto it = values_.find(name);
-    return it == values_.end() ? 0 : it->second;
+  Value get(CounterId id) const {
+    return id.valid() && id.index() < values_.size() ? values_[id.index()] : 0;
+  }
+  Value get(std::string_view name) const {
+    return get(CounterRegistry::find(name));
   }
 
-  /// All counters, sorted by name.
-  const std::map<std::string, Value>& all() const { return values_; }
+  /// All non-zero counters, sorted by name. Built on demand.
+  std::map<std::string, Value> all() const;
 
   /// Accumulate every counter of `other` into this block.
-  void merge(const Counters& other) {
-    for (const auto& [k, v] : other.values_) values_[k] += v;
-  }
+  void merge(const Counters& other);
 
   /// Counters in this block minus the snapshot `base` (per-phase deltas).
   Counters diff(const Counters& base) const;
@@ -40,7 +85,7 @@ class Counters {
   void clear() { values_.clear(); }
 
  private:
-  std::map<std::string, Value> values_;
+  std::vector<Value> values_;  // indexed by CounterId
 };
 
 }  // namespace multiedge::stats

@@ -1,0 +1,55 @@
+// Minimal JSON support shared by the stats/trace exporters and their tests.
+//
+// The writer side is just string escaping plus number formatting discipline
+// (the emitters compose documents by hand, which keeps them allocation-light
+// and dependency-free). The reader side is a small DOM parser used by unit
+// tests to verify that exported artifacts — Chrome trace files, BENCH_*.json
+// metrics — are structurally valid and round-trip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace multiedge::stats::json {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string escape(std::string_view s);
+
+/// True if `s` is a valid JSON number token (strict: no leading '+', no
+/// leading zeros, no inf/nan). Used by emitters to decide whether a table
+/// cell can be written unquoted.
+bool is_number(std::string_view s);
+
+/// Format `v` as a valid JSON number token (inf/nan become 0).
+std::string number(double v);
+
+/// Tiny DOM. Object member order is preserved (vector of pairs), which keeps
+/// round-trip comparisons deterministic.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup on objects; nullptr if absent or not an object.
+  const Value* find(std::string_view key) const;
+};
+
+/// Parse `text` into `out`. Returns false (and sets `*error` if given) on
+/// malformed input or trailing garbage.
+bool parse(std::string_view text, Value& out, std::string* error = nullptr);
+
+}  // namespace multiedge::stats::json

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "stats/json.hpp"
+
 namespace multiedge::stats {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -68,6 +70,24 @@ void Table::print_csv(std::ostream& os) const {
   };
   print_row(headers_);
   for (const auto& row : rows_) print_row(row);
+}
+
+void Table::to_json(std::ostream& os) const {
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "" : ",") << "\n  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << '"' << json::escape(headers_[c]) << "\": ";
+      const std::string& cell = rows_[r][c];
+      if (json::is_number(cell)) {
+        os << cell;
+      } else {
+        os << '"' << json::escape(cell) << '"';
+      }
+    }
+    os << "}";
+  }
+  os << "\n]";
 }
 
 std::string fmt_double(double v, int precision) {

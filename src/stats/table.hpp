@@ -39,6 +39,14 @@ class Table {
   void print(std::ostream& os) const;
   void print_csv(std::ostream& os) const;
 
+  /// Emit the table as a JSON array of row objects keyed by header. Cells
+  /// that are valid JSON number tokens are written unquoted so downstream
+  /// tooling gets real numbers; everything else is an escaped string.
+  void to_json(std::ostream& os) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  std::size_t row_count() const { return rows_.size(); }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,161 @@
+#include "trace/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "stats/json.hpp"
+
+namespace multiedge::trace {
+
+namespace {
+
+constexpr int kTidProtoThread = 0;
+constexpr int kTidRailBase = 1;
+constexpr int kTidDsm = 500;
+constexpr int kTidConnBase = 1000;
+
+// Simulated picoseconds -> trace microseconds, printed with fixed precision
+// so equal inputs always serialize identically.
+std::string ts_us(sim::Time ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", static_cast<double>(ps) / 1e6);
+  return buf;
+}
+
+int event_tid(const Event& e) {
+  switch (e.type) {
+    case EventType::kThreadBatch:
+      return kTidProtoThread;
+    case EventType::kNicTx:
+    case EventType::kNicRx:
+    case EventType::kIrq:
+    case EventType::kWireDrop:
+    case EventType::kWireCorrupt:
+    case EventType::kDataTx:
+    case EventType::kDataRx:
+    case EventType::kRetransmit:
+      return kTidRailBase + (e.rail >= 0 ? e.rail : 0);
+    case EventType::kDsmPageFetch:
+    case EventType::kDsmDiffFlush:
+      return kTidDsm;
+    case EventType::kAckTx:
+    case EventType::kAckRx:
+    case EventType::kWindowStall:
+    case EventType::kWindowResume:
+    case EventType::kFenceBlocked:
+    case EventType::kFenceRelease:
+    case EventType::kOpSubmit:
+    case EventType::kOpComplete:
+      return kTidConnBase + (e.conn >= 0 ? e.conn : 0);
+  }
+  return 0;
+}
+
+bool is_span(EventType t) {
+  return t == EventType::kOpComplete || t == EventType::kDsmPageFetch ||
+         t == EventType::kDsmDiffFlush;
+}
+
+std::string thread_label(int tid) {
+  if (tid == kTidProtoThread) return "proto-thread";
+  if (tid == kTidDsm) return "dsm";
+  if (tid >= kTidConnBase) return "conn" + std::to_string(tid - kTidConnBase);
+  return "rail" + std::to_string(tid - kTidRailBase);
+}
+
+void write_meta(std::ostream& os, bool& first, const char* name, int pid,
+                int tid, const std::string& value) {
+  os << (first ? "" : ",") << "\n  {\"ph\":\"M\",\"name\":\"" << name
+     << "\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"args\":{\"name\":\"" << stats::json::escape(value) << "\"}}";
+  first = false;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
+                        const std::vector<const TimeSeries*>& series) {
+  const std::vector<Event> events = rec.events();
+
+  // Collect the (pid, tid) tracks present so each gets a stable name.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> tracks;
+  for (const Event& e : events) {
+    const int pid = e.node >= 0 ? e.node : 0;
+    pids.insert(pid);
+    tracks.insert({pid, event_tid(e)});
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const int pid : pids) {
+    write_meta(os, first, "process_name", pid, 0,
+               "node" + std::to_string(pid));
+  }
+  for (const auto& [pid, tid] : tracks) {
+    write_meta(os, first, "thread_name", pid, tid, thread_label(tid));
+  }
+
+  for (const Event& e : events) {
+    const int pid = e.node >= 0 ? e.node : 0;
+    os << (first ? "" : ",") << "\n  {\"name\":\"" << event_name(e.type)
+       << "\",\"cat\":\"" << event_category(e.type) << "\",\"ph\":\""
+       << (is_span(e.type) ? 'X' : 'i') << "\",\"ts\":" << ts_us(e.ts);
+    if (is_span(e.type)) {
+      os << ",\"dur\":" << ts_us(e.dur);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":" << pid << ",\"tid\":" << event_tid(e)
+       << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b;
+    if (e.conn >= 0) os << ",\"conn\":" << e.conn;
+    if (e.rail >= 0) os << ",\"rail\":" << e.rail;
+    os << "}}";
+    first = false;
+  }
+
+  for (const TimeSeries* s : series) {
+    if (!s) continue;
+    for (const auto& [t, v] : s->samples()) {
+      os << (first ? "" : ",") << "\n  {\"ph\":\"C\",\"name\":\""
+         << stats::json::escape(s->name()) << "\",\"pid\":0,\"tid\":0,\"ts\":"
+         << ts_us(t) << ",\"args\":{\"value\":" << stats::json::number(v)
+         << "}}";
+      first = false;
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+std::string chrome_trace_string(const TraceRecorder& rec,
+                                const std::vector<const TimeSeries*>& series) {
+  std::ostringstream os;
+  write_chrome_trace(os, rec, series);
+  return os.str();
+}
+
+void histogram_to_json(std::ostream& os, const LatencyHistogram& h) {
+  os << "{\"count\":" << h.count() << ",\"min\":" << h.min()
+     << ",\"mean\":" << stats::json::number(h.mean())
+     << ",\"p50\":" << h.p50() << ",\"p95\":" << h.p95()
+     << ",\"p99\":" << h.p99() << ",\"max\":" << h.max() << "}";
+}
+
+void timeseries_to_json(std::ostream& os, const TimeSeries& s) {
+  os << "{\"name\":\"" << stats::json::escape(s.name())
+     << "\",\"samples\":[";
+  bool first = true;
+  for (const auto& [t, v] : s.samples()) {
+    os << (first ? "" : ",") << "[" << ts_us(t) << ","
+       << stats::json::number(v) << "]";
+    first = false;
+  }
+  os << "]}";
+}
+
+}  // namespace multiedge::trace

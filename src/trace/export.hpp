@@ -1,0 +1,44 @@
+// Exporters for trace artifacts.
+//
+// write_chrome_trace() emits the Chrome trace-event JSON format (the
+// {"traceEvents": [...]} flavour), loadable directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Track layout:
+//   pid  = node id (one "process" per node)
+//   tid 0            = protocol thread (batch boundaries)
+//   tid 1 + rail     = NIC/wire/data track for that rail
+//   tid 500          = DSM activity
+//   tid 1000 + conn  = per-connection op/window/fence track
+// Instant events use ph "i", duration events (op complete, DSM page fetch,
+// diff flush) use ph "X" with ts = start. Timestamps are microseconds of
+// simulated time (fractional; the sim runs in picoseconds).
+//
+// The *_to_json helpers emit the machine-readable metrics objects embedded in
+// the bench BENCH_*.json artifacts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/histogram.hpp"
+#include "trace/timeseries.hpp"
+#include "trace/trace.hpp"
+
+namespace multiedge::trace {
+
+/// Write the full Chrome trace-event document. `series` entries (may be
+/// empty) are emitted as Perfetto counter tracks (ph "C").
+void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
+                        const std::vector<const TimeSeries*>& series = {});
+
+/// Same, into a string (used by tests and small tools).
+std::string chrome_trace_string(const TraceRecorder& rec,
+                                const std::vector<const TimeSeries*>& series = {});
+
+/// {"count":N,"min":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+void histogram_to_json(std::ostream& os, const LatencyHistogram& h);
+
+/// {"name":"..","samples":[[t_us,v],...]}
+void timeseries_to_json(std::ostream& os, const TimeSeries& s);
+
+}  // namespace multiedge::trace

@@ -1,0 +1,76 @@
+#include "trace/histogram.hpp"
+
+#include <bit>
+
+namespace multiedge::trace {
+
+namespace {
+constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per power of two
+constexpr std::uint64_t kSubBuckets = 1u << kSubBucketBits;
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int group = msb - kSubBucketBits + 1;
+  const std::uint64_t offset = (v >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(group) * kSubBuckets +
+         static_cast<std::size_t>(offset);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t idx) {
+  if (idx < kSubBuckets) return idx;
+  const std::size_t group = idx / kSubBuckets;
+  const std::uint64_t offset = idx % kSubBuckets;
+  return (kSubBuckets + offset) << (group - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t v) {
+  const std::size_t idx = bucket_index(v);
+  if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const std::uint64_t v = bucket_floor(i);
+      if (v < min_) return min_;
+      if (v > max_) return max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() {
+  buckets_.clear();
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+}  // namespace multiedge::trace

@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram.
+//
+// Buckets are HdrHistogram-style: 16 linear sub-buckets per power of two,
+// which bounds relative quantile error at 1/16 (6.25%) while keeping the
+// bucket array small (~1 KiB) and record() branch-free apart from the
+// bit-scan. Values are dimensionless — callers pick the unit (this repo
+// records nanoseconds of simulated time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace multiedge::trace {
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0,1] (q=0.5 -> p50). Returns the lower edge of
+  /// the containing bucket, clamped to [min, max]; exact when count is 0 or
+  /// values fit a single bucket.
+  std::uint64_t percentile(double q) const;
+
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p95() const { return percentile(0.95); }
+  std::uint64_t p99() const { return percentile(0.99); }
+
+  void merge(const LatencyHistogram& other);
+  void clear();
+
+ private:
+  static std::size_t bucket_index(std::uint64_t v);
+  static std::uint64_t bucket_floor(std::size_t idx);
+
+  std::vector<std::uint64_t> buckets_;  // grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace multiedge::trace

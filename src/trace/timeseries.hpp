@@ -1,0 +1,41 @@
+// Periodic time-series samplers.
+//
+// A TimeSeries is a named sequence of (sim-time, value) samples. The Cluster
+// registers samplers (window occupancy, per-rail queue depth, outstanding
+// ops) and drives them from one periodic sim::Timer; sampling reads state but
+// charges no simulated cost, so it cannot perturb the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace multiedge::trace {
+
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, std::size_t max_samples = 1 << 16)
+      : name_(std::move(name)), max_samples_(max_samples) {}
+
+  void sample(sim::Time t, double v) {
+    if (samples_.size() >= max_samples_) return;  // cap, keep earliest window
+    samples_.emplace_back(t, v);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<sim::Time, double>>& samples() const {
+    return samples_;
+  }
+  bool truncated() const { return samples_.size() >= max_samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::string name_;
+  std::size_t max_samples_;
+  std::vector<std::pair<sim::Time, double>> samples_;
+};
+
+}  // namespace multiedge::trace

@@ -1,0 +1,71 @@
+#include "trace/trace.hpp"
+
+namespace multiedge::trace {
+
+std::string_view event_name(EventType t) {
+  switch (t) {
+    case EventType::kNicTx: return "nic_tx";
+    case EventType::kNicRx: return "nic_rx";
+    case EventType::kIrq: return "irq";
+    case EventType::kWireDrop: return "wire_drop";
+    case EventType::kWireCorrupt: return "wire_corrupt";
+    case EventType::kThreadBatch: return "thread_batch";
+    case EventType::kDataTx: return "data_tx";
+    case EventType::kDataRx: return "data_rx";
+    case EventType::kAckTx: return "ack_tx";
+    case EventType::kAckRx: return "ack_rx";
+    case EventType::kRetransmit: return "retransmit";
+    case EventType::kWindowStall: return "window_stall";
+    case EventType::kWindowResume: return "window_resume";
+    case EventType::kFenceBlocked: return "fence_blocked";
+    case EventType::kFenceRelease: return "fence_release";
+    case EventType::kOpSubmit: return "op_submit";
+    case EventType::kOpComplete: return "op_complete";
+    case EventType::kDsmPageFetch: return "dsm_page_fetch";
+    case EventType::kDsmDiffFlush: return "dsm_diff_flush";
+  }
+  return "unknown";
+}
+
+std::string_view event_category(EventType t) {
+  switch (t) {
+    case EventType::kNicTx:
+    case EventType::kNicRx:
+    case EventType::kIrq:
+      return "nic";
+    case EventType::kWireDrop:
+    case EventType::kWireCorrupt:
+      return "wire";
+    case EventType::kThreadBatch:
+      return "engine";
+    case EventType::kDataTx:
+    case EventType::kDataRx:
+    case EventType::kAckTx:
+    case EventType::kAckRx:
+    case EventType::kRetransmit:
+    case EventType::kWindowStall:
+    case EventType::kWindowResume:
+    case EventType::kFenceBlocked:
+    case EventType::kFenceRelease:
+    case EventType::kOpSubmit:
+    case EventType::kOpComplete:
+      return "conn";
+    case EventType::kDsmPageFetch:
+    case EventType::kDsmDiffFlush:
+      return "dsm";
+  }
+  return "unknown";
+}
+
+std::vector<Event> TraceRecorder::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  const std::size_t start =
+      size_ < ring_.size() ? 0 : head_;  // oldest surviving event
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace multiedge::trace

@@ -1,0 +1,146 @@
+// Protocol-wide event tracing.
+//
+// A TraceRecorder is a fixed-capacity ring buffer of typed events keyed on
+// simulated time. Every layer of the stack (NIC, wire, protocol engine,
+// connection, DSM) holds a nullable TraceRecorder* and records through it;
+// when tracing is disabled the Cluster never constructs a recorder, so the
+// per-hook cost is a single null-pointer branch and zero allocation.
+//
+// Recording never consumes simulated time or perturbs the event queue: the
+// trace is a pure observer, so enabling it cannot change protocol behaviour
+// or any measured (simulated) latency/throughput number.
+//
+// Events carry dense identifiers (node, rail, connection, sequence) rather
+// than strings; the Chrome-trace exporter (trace/export.hpp) turns them into
+// per-node×rail and per-connection tracks loadable in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace multiedge::trace {
+
+enum class EventType : std::uint8_t {
+  // NIC layer (below the protocol header, so no seq here).
+  kNicTx,        // frame handed to the wire; a=payload bytes, b=wire bytes
+  kNicRx,        // frame DMA'd into the rx ring; a=payload bytes, b=wire bytes
+  kIrq,          // interrupt fired; b=events coalesced into this IRQ
+  // Wire (channel fault model).
+  kWireDrop,     // frame lost on the wire; a=payload bytes
+  kWireCorrupt,  // frame FCS-corrupted on the wire; a=payload bytes
+  // Protocol engine.
+  kThreadBatch,  // protocol-thread pass; a=completions reaped, b=frames in batch
+  // Connection.
+  kDataTx,       // DATA frame (re)transmitted; a=seq, b=payload bytes
+  kDataRx,       // DATA frame accepted; a=seq, b=payload bytes
+  kAckTx,        // explicit ACK sent; a=cumulative ack
+  kAckRx,        // ACK processed; a=cumulative ack, b=nack count
+  kRetransmit,   // frame retransmitted; a=seq
+  kWindowStall,  // sender blocked on the sliding window; a=snd_una
+  kWindowResume, // window reopened; a=snd_una
+  kFenceBlocked, // op held back by a fence; a=op id
+  kFenceRelease, // fence released blocked ops; a=ops released
+  kOpSubmit,     // user op submitted; a=op id, b=bytes
+  kOpComplete,   // user op completed (duration event); a=op id, b=bytes
+  // DSM.
+  kDsmPageFetch, // remote page fetch (duration event); a=page, b=bytes
+  kDsmDiffFlush, // dirty-diff writeback (duration event); a=pages, b=bytes
+};
+
+/// Stable short name for an event type ("nic_tx", "op_complete", ...).
+std::string_view event_name(EventType t);
+
+/// Perfetto category for an event type ("nic", "wire", "engine", "conn",
+/// "dsm") — used as the Chrome-trace "cat" field.
+std::string_view event_category(EventType t);
+
+/// One trace record. 48 bytes; identifiers are dense ints, never strings.
+struct Event {
+  sim::Time ts = 0;    ///< event time (ps); start time for duration events
+  sim::Time dur = 0;   ///< duration (ps) for kOpComplete/kDsm* span events
+  std::uint64_t a = 0; ///< primary payload (seq, op id, page, ...)
+  std::uint64_t b = 0; ///< secondary payload (bytes, batch size, ...)
+  std::int32_t conn = -1;  ///< connection local id, -1 if n/a
+  std::int16_t node = -1;  ///< node id, -1 if n/a
+  std::int16_t rail = -1;  ///< rail id, -1 if n/a
+  EventType type = EventType::kNicTx;
+};
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Ring capacity in events; oldest events are overwritten on overflow.
+  std::size_t ring_capacity = 1 << 18;
+  /// Cadence of the periodic time-series samplers (window occupancy,
+  /// queue depth, outstanding ops). 0 disables sampling.
+  sim::Time sample_interval = 10'000'000;  // 10 us
+};
+
+/// Fixed-capacity ring buffer of events. The buffer is allocated once at
+/// construction; record() never allocates.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity) : ring_(capacity) {}
+
+  void record(Event e) {
+    if (ring_.empty()) return;
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+    ++total_;
+  }
+
+  /// Convenience for instant events.
+  void record(sim::Time ts, EventType type, int node, int rail, int conn,
+              std::uint64_t a = 0, std::uint64_t b = 0) {
+    Event e;
+    e.ts = ts;
+    e.type = type;
+    e.node = static_cast<std::int16_t>(node);
+    e.rail = static_cast<std::int16_t>(rail);
+    e.conn = conn;
+    e.a = a;
+    e.b = b;
+    record(e);
+  }
+
+  /// Convenience for duration events (ts = start, dur = length).
+  void record_span(sim::Time ts, sim::Time dur, EventType type, int node,
+                   int rail, int conn, std::uint64_t a = 0,
+                   std::uint64_t b = 0) {
+    Event e;
+    e.ts = ts;
+    e.dur = dur;
+    e.type = type;
+    e.node = static_cast<std::int16_t>(node);
+    e.rail = static_cast<std::int16_t>(rail);
+    e.conn = conn;
+    e.a = a;
+    e.b = b;
+    record(e);
+  }
+
+  /// Events in recording order (oldest surviving event first).
+  std::vector<Event> events() const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Total events ever recorded, including ones overwritten by wraparound.
+  std::uint64_t total_recorded() const { return total_; }
+  bool wrapped() const { return total_ > size_; }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next slot to write
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace multiedge::trace

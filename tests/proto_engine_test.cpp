@@ -60,6 +60,31 @@ TEST(Engine, InterruptsAreCoalescedUnderStreaming) {
   EXPECT_GT(factor, 1.4);
 }
 
+TEST(Engine, ThreadBatchingCoalescesEventsPerWakeup) {
+  // The protocol-thread counters expose the measured coalescing factor
+  // (events handled per wakeup); under a pipelined 1MB write it must be > 1,
+  // i.e. each wakeup amortizes over several frames/completions (§2.6).
+  CheckedCluster cluster(config_1l_1g(2));
+  constexpr std::size_t kSize = 1 << 20;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+
+  for (int n = 0; n < 2; ++n) {
+    const stats::Counters agg = cluster.engine(n).aggregate_counters();
+    const std::uint64_t wakeups = agg.get("thread_wakeups");
+    const std::uint64_t events = agg.get("thread_events");
+    ASSERT_GT(wakeups, 0u) << "node " << n;
+    const double factor =
+        static_cast<double>(events) / static_cast<double>(wakeups);
+    EXPECT_GT(factor, 1.0) << "node " << n;
+  }
+}
+
 TEST(Engine, PiggybackCarriesAcksInRequestResponseTraffic) {
   // Ping-pong style traffic: almost all acks should ride data frames.
   CheckedCluster cluster(config_1l_1g(2));

@@ -50,5 +50,47 @@ TEST(Counters, ClearEmpties) {
   EXPECT_TRUE(c.all().empty());
 }
 
+TEST(CounterRegistry, InternIsIdempotentAndNamed) {
+  const CounterId a = CounterRegistry::intern("reg_test_alpha");
+  const CounterId b = CounterRegistry::intern("reg_test_alpha");
+  const CounterId c = CounterRegistry::intern("reg_test_beta");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(CounterRegistry::name(a), "reg_test_alpha");
+  EXPECT_EQ(CounterRegistry::name(c), "reg_test_beta");
+}
+
+TEST(CounterRegistry, FindDoesNotIntern) {
+  EXPECT_FALSE(CounterRegistry::find("reg_test_never_interned").valid());
+  const CounterId id = CounterRegistry::intern("reg_test_found");
+  EXPECT_EQ(CounterRegistry::find("reg_test_found").index(), id.index());
+}
+
+TEST(Counters, InternedIdPathMatchesStringPath) {
+  const CounterId id = CounterRegistry::intern("reg_test_mixed");
+  Counters c;
+  c.add(id, 3);          // hot path: direct vector index
+  c.add("reg_test_mixed", 2);  // shim: interns then indexes
+  EXPECT_EQ(c.get(id), 5u);
+  EXPECT_EQ(c.get("reg_test_mixed"), 5u);
+  const auto all = c.all();
+  ASSERT_EQ(all.count("reg_test_mixed"), 1u);
+  EXPECT_EQ(all.at("reg_test_mixed"), 5u);
+}
+
+TEST(Counters, MergeAndDiffAcrossInternedIds) {
+  const CounterId x = CounterRegistry::intern("reg_test_md_x");
+  Counters base, now;
+  base.add(x, 10);
+  now.add(x, 25);
+  const Counters d = now.diff(base);
+  EXPECT_EQ(d.get(x), 15u);
+  Counters m;
+  m.merge(d);
+  m.merge(d);
+  EXPECT_EQ(m.get(x), 30u);
+}
+
 }  // namespace
 }  // namespace multiedge::stats

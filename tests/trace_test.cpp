@@ -1,0 +1,299 @@
+// Observability subsystem: TraceRecorder ring semantics, LatencyHistogram
+// percentile accuracy, TimeSeries caps, Chrome trace-event export structure,
+// zero-cost-when-off, and byte-identical traces across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "stats/json.hpp"
+#include "trace/export.hpp"
+#include "trace/histogram.hpp"
+#include "trace/timeseries.hpp"
+#include "trace/trace.hpp"
+
+namespace multiedge {
+namespace {
+
+using trace::Event;
+using trace::EventType;
+using trace::LatencyHistogram;
+using trace::TimeSeries;
+using trace::TraceRecorder;
+
+// ---------------------------------------------------------------- ring buffer
+
+TEST(TraceRecorder, RecordsInOrderBelowCapacity) {
+  TraceRecorder rec(8);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(i * 100, EventType::kNicTx, /*node=*/0, /*rail=*/0, -1, i, 0);
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_FALSE(rec.wrapped());
+  const std::vector<Event> ev = rec.events();
+  ASSERT_EQ(ev.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ev[i].ts, i * 100);
+    EXPECT_EQ(ev[i].a, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestOldestFirst) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(i, EventType::kNicRx, 0, 0, -1, i, 0);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_TRUE(rec.wrapped());
+  const std::vector<Event> ev = rec.events();
+  ASSERT_EQ(ev.size(), 4u);
+  // The four newest events (6,7,8,9), oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ev[i].a, static_cast<std::uint64_t>(6 + i));
+  }
+}
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder rec(4);
+  rec.record(1, EventType::kIrq, 0, 0, -1, 0, 3);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, EventNamesAndCategoriesCoverAllTypes) {
+  for (int t = 0; t <= static_cast<int>(EventType::kDsmDiffFlush); ++t) {
+    const auto type = static_cast<EventType>(t);
+    EXPECT_NE(trace::event_name(type), "?") << t;
+    EXPECT_NE(trace::event_category(type), "?") << t;
+  }
+}
+
+// ----------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, ExactBelowSubBucketRange) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {3u, 7u, 7u, 15u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 15u);
+  // Values < 16 land in exact buckets.
+  EXPECT_EQ(h.percentile(0.5), 7u);
+}
+
+TEST(LatencyHistogram, PercentilesWithinLogBucketError) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // 16 sub-buckets per power of two: <= 6.25% relative bucketing error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.p95()), 950.0, 950.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.07);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 0.01);
+}
+
+TEST(LatencyHistogram, PercentileClampsToObservedRange) {
+  LatencyHistogram h;
+  h.record(1'000'000);
+  EXPECT_EQ(h.percentile(0.0), 1'000'000u);
+  EXPECT_EQ(h.percentile(1.0), 1'000'000u);
+  EXPECT_EQ(h.p99(), 1'000'000u);
+}
+
+TEST(LatencyHistogram, MergeCombines) {
+  LatencyHistogram a, b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+// ---------------------------------------------------------------- timeseries
+
+TEST(TimeSeries, CapsAtMaxSamplesKeepingEarliest) {
+  TimeSeries s("q", /*max_samples=*/3);
+  for (int i = 0; i < 5; ++i) s.sample(i * 10, i);
+  EXPECT_EQ(s.samples().size(), 3u);
+  EXPECT_TRUE(s.truncated());
+  EXPECT_EQ(s.samples()[0].first, 0);
+  EXPECT_EQ(s.samples()[2].first, 20);
+}
+
+// ------------------------------------------------------- cluster integration
+
+ClusterConfig traced_config() {
+  ClusterConfig cfg = config_2l_1g(2);
+  cfg.trace.enabled = true;
+  return cfg;
+}
+
+// Runs a small workload exercising engine, NIC, connection, and DSM-free
+// paths; returns the cluster's chrome trace JSON.
+std::string run_traced(const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  constexpr std::size_t kSize = 96 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    c.rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+    std::uint64_t back = ep.alloc(4096);
+    c.rdma_read(back, dst, 4096).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_NE(cluster.tracer(), nullptr);
+  EXPECT_GT(cluster.tracer()->size(), 0u);
+  std::ostringstream os;
+  cluster.write_trace(os);
+  return os.str();
+}
+
+TEST(ClusterTrace, OffByDefaultAllocatesNothing) {
+  Cluster cluster(config_1l_1g(2));
+  EXPECT_EQ(cluster.tracer(), nullptr);
+  EXPECT_TRUE(cluster.time_series().empty());
+  std::ostringstream os;
+  cluster.write_trace(os);  // must be a no-op
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(ClusterTrace, ChromeTraceIsStructurallyValidJson) {
+  const std::string doc = run_traced(traced_config());
+  stats::json::Value v;
+  std::string err;
+  ASSERT_TRUE(stats::json::parse(doc, v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  const stats::json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->array.size(), 10u);
+
+  bool saw_meta = false;
+  std::vector<std::string> seen_cats;
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const stats::json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      saw_meta = true;
+      continue;
+    }
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->string == "C") continue;  // counter samples carry args.value
+    const stats::json::Value* cat = e.find("cat");
+    ASSERT_NE(cat, nullptr);
+    seen_cats.push_back(cat->string);
+    if (ph->string == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  auto saw = [&](const char* c) {
+    for (const auto& s : seen_cats) {
+      if (s == c) return true;
+    }
+    return false;
+  };
+  // Events from the NIC, engine, and connection layers all present.
+  EXPECT_TRUE(saw("nic"));
+  EXPECT_TRUE(saw("engine"));
+  EXPECT_TRUE(saw("conn"));
+}
+
+TEST(ClusterTrace, SameSeedRunsProduceIdenticalTraces) {
+  const std::string a = run_traced(traced_config());
+  const std::string b = run_traced(traced_config());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ClusterTrace, TimeSeriesSamplersCoverNodesAndRails) {
+  ClusterConfig cfg = traced_config();
+  Cluster cluster(cfg);
+  constexpr std::size_t kSize = 64 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  // Per node: window occupancy, outstanding ops, and one tx/rx pair per rail.
+  const auto& series = cluster.time_series();
+  ASSERT_EQ(series.size(),
+            2u * (2u + 2u * static_cast<unsigned>(cfg.topology.rails)));
+  bool any_samples = false;
+  for (const auto& s : series) {
+    if (!s->samples().empty()) any_samples = true;
+  }
+  EXPECT_TRUE(any_samples);
+}
+
+TEST(ClusterTrace, DsmEventsAppearInTrace) {
+  // The DSM layers record page fetches via the cluster tracer; exercise a
+  // tiny fetch through the protocol read path used by dsm::fetch_batch.
+  // (A full DSM app run is in dsm_test; here we just need the hook live.)
+  ClusterConfig cfg = traced_config();
+  Cluster cluster(cfg);
+  ASSERT_NE(cluster.tracer(), nullptr);
+  // Record a synthetic DSM span exactly as dsm.cpp does and check export.
+  cluster.tracer()->record_span(1000, 500, trace::EventType::kDsmPageFetch,
+                                /*node=*/0, /*rail=*/-1, /*conn=*/-1,
+                                /*a=*/7, /*b=*/4096);
+  std::ostringstream os;
+  cluster.write_trace(os);
+  stats::json::Value v;
+  ASSERT_TRUE(stats::json::parse(os.str(), v));
+  const stats::json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_dsm = false;
+  for (const auto& e : events->array) {
+    const stats::json::Value* cat = e.find("cat");
+    if (cat && cat->string == "dsm") saw_dsm = true;
+  }
+  EXPECT_TRUE(saw_dsm);
+}
+
+// ------------------------------------------------------------------- exports
+
+TEST(Export, HistogramToJsonRoundTrips) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  std::ostringstream os;
+  trace::histogram_to_json(os, h);
+  stats::json::Value v;
+  ASSERT_TRUE(stats::json::parse(os.str(), v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("count")->number, 100.0);
+  EXPECT_EQ(v.find("min")->number, 1.0);
+  EXPECT_EQ(v.find("max")->number, 100.0);
+  EXPECT_GT(v.find("p95")->number, v.find("p50")->number);
+  EXPECT_GE(v.find("p99")->number, v.find("p95")->number);
+}
+
+TEST(Export, TimeSeriesToJsonRoundTrips) {
+  TimeSeries s("nic.q");
+  s.sample(1'000'000, 3);  // 1us
+  s.sample(2'000'000, 5);
+  std::ostringstream os;
+  trace::timeseries_to_json(os, s);
+  stats::json::Value v;
+  ASSERT_TRUE(stats::json::parse(os.str(), v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string, "nic.q");
+  ASSERT_EQ(v.find("samples")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace multiedge
