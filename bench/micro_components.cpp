@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "net/frame.hpp"
+#include "net/frame_pool.hpp"
 #include "proto/wire.hpp"
 #include "sim/fiber.hpp"
 #include "sim/random.hpp"
@@ -43,6 +44,24 @@ void BM_WireHeaderEncode(benchmark::State& state) {
                           (proto::WireHeader::kBytes + data.size()));
 }
 BENCHMARK(BM_WireHeaderEncode)->Arg(0)->Arg(256)->Arg(1428);
+
+// Same wire bytes, zero-allocation path: encode straight into a pooled
+// frame's inline payload. Compare against BM_WireHeaderEncode at the same
+// arg to see what the vector-returning codec cost per frame.
+void BM_WireHeaderEncodeInto(benchmark::State& state) {
+  proto::WireHeader h;
+  h.seq = 123456;
+  h.ack = 123400;
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  auto frame = net::frame_pool().acquire();
+  for (auto _ : state) {
+    proto::encode_frame_payload_into(frame->payload, h, {}, data);
+    benchmark::DoNotOptimize(frame->payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (proto::WireHeader::kBytes + data.size()));
+}
+BENCHMARK(BM_WireHeaderEncodeInto)->Arg(0)->Arg(256)->Arg(1428);
 
 void BM_WireHeaderDecode(benchmark::State& state) {
   proto::WireHeader h;
@@ -111,6 +130,23 @@ void BM_FramePayloadAlloc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FramePayloadAlloc);
+
+// The pooled equivalent of BM_FramePayloadAlloc: acquire/release recycles
+// one combined control-block+Frame allocation instead of hitting the heap.
+void BM_FramePoolAcquire(benchmark::State& state) {
+  net::FramePool pool;
+  for (auto _ : state) {
+    auto f = pool.acquire();
+    f->payload.resize_for_overwrite(1500);
+    benchmark::DoNotOptimize(f->payload.data());
+  }
+  // Calibration passes run with a single iteration, which can only be a
+  // fresh allocation; only real runs must show recycling.
+  if (state.iterations() > 1 && pool.reuses() == 0) {
+    state.SkipWithError("pool never recycled");
+  }
+}
+BENCHMARK(BM_FramePoolAcquire);
 
 }  // namespace
 

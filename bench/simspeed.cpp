@@ -1,0 +1,280 @@
+// Simulator self-throughput benchmark: how fast the *host* executes the
+// simulation, independent of simulated time. This is the perf trajectory
+// tracker for the hot path (frame pool, window rings, event queue): it runs
+// the fig2 micro-benchmark workloads and reports wall-clock frames/sec and
+// events/sec, plus an FNV-1a fingerprint of the protocol counters so a
+// speedup can be shown to come with bit-identical protocol behavior.
+//
+// Usage: simspeed [--quick] [--repeat=N] [--json[=path]] [--check=<baseline>]
+//   --json   writes the machine-readable BENCH_simspeed.json artifact.
+//   --check  loads a previously committed artifact, reruns the workloads,
+//            and exits non-zero if total frames/sec regressed by more than
+//            20% or if any workload's counter fingerprint changed (CI smoke
+//            stage; see scripts/ci.sh).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace multiedge;
+
+struct Workload {
+  std::string name;
+  ClusterConfig cfg;
+  bool two_way = false;
+  std::size_t msg_bytes = 64 * 1024;
+  int messages = 256;
+};
+
+std::vector<Workload> workloads(bool quick) {
+  const int msgs = quick ? 48 : 256;
+  ClusterConfig lossy = config_2l_1g(2);
+  lossy.topology.link.drop_prob = 0.01;
+  lossy.protocol.window_frames = 16;
+  return {
+      {"oneway-1L-1G", config_1l_1g(2), false, 64 * 1024, msgs},
+      {"twoway-2Lu-1G", config_2lu_1g(2), true, 64 * 1024, msgs},
+      {"retx-2L-1G-drop1", lossy, false, 64 * 1024, msgs},
+  };
+}
+
+struct RunStats {
+  std::uint64_t frames = 0;  // data + explicit ack frames put on the wire
+  std::uint64_t events = 0;  // simulator events executed
+  double wall_ms = 0;
+  double sim_ms = 0;
+  std::uint64_t counters_fnv = 0;  // fingerprint of aggregate counters
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// One full run of `w` on a fresh cluster. The whole run is timed (setup and
+// handshake included; both are negligible against `messages` transfers).
+RunStats run_workload(const Workload& w) {
+  Cluster cluster(w.cfg);
+  const auto size = static_cast<std::uint32_t>(w.msg_bytes);
+  const std::uint64_t src0 = cluster.memory(0).alloc(w.msg_bytes);
+  const std::uint64_t dst0 = cluster.memory(0).alloc(w.msg_bytes);
+  const std::uint64_t src1 = cluster.memory(1).alloc(w.msg_bytes);
+  const std::uint64_t dst1 = cluster.memory(1).alloc(w.msg_bytes);
+
+  // Ordering guard for the last op's completion notification (same trick as
+  // run_micro): in out-of-order mode it must not overtake earlier ops.
+  const auto last_flags = static_cast<std::uint16_t>(
+      kOpFlagNotify |
+      (w.cfg.protocol.in_order_delivery ? kOpFlagNone : kOpFlagBackwardFence));
+
+  const auto none = static_cast<std::uint16_t>(kOpFlagNone);
+  cluster.spawn(0, "fwd", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    for (int i = 0; i < w.messages; ++i) {
+      c.rdma_write(dst1, src0, size, i + 1 == w.messages ? last_flags : none);
+    }
+  });
+  cluster.spawn(1, "rcv", [&](Endpoint& ep) {
+    Connection c = ep.accept(0);
+    if (w.two_way) {
+      for (int i = 0; i < w.messages; ++i) {
+        c.rdma_write(dst0, src1, size, i + 1 == w.messages ? last_flags : none);
+      }
+    }
+    ep.wait_notification();
+  });
+  if (w.two_way) {
+    cluster.spawn(0, "fin", [&](Endpoint& ep) { ep.wait_notification(); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  stats::Counters all = cluster.engine(0).aggregate_counters();
+  all.merge(cluster.engine(1).aggregate_counters());
+
+  RunStats r;
+  r.frames = all.get("data_frames_sent") + all.get("ack_frames_sent");
+  r.events = cluster.sim().events_executed();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.sim_ms = sim::to_us(cluster.sim().now()) / 1000.0;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, value] : all.all()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, "=");
+    h = fnv1a(h, std::to_string(value));
+    h = fnv1a(h, "\n");
+  }
+  r.counters_fnv = h;
+  return r;
+}
+
+// Best-of-N wall time; frames/events/fingerprint must not vary across
+// repeats (same seed), so they are taken from the first run and checked.
+RunStats measure(const Workload& w, int repeat) {
+  RunStats best = run_workload(w);
+  for (int i = 1; i < repeat; ++i) {
+    RunStats r = run_workload(w);
+    if (r.frames != best.frames || r.counters_fnv != best.counters_fnv) {
+      std::cerr << "ERROR: workload " << w.name
+                << " is not deterministic across repeats\n";
+      std::exit(2);
+    }
+    best.wall_ms = std::min(best.wall_ms, r.wall_ms);
+  }
+  return best;
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+double per_sec(std::uint64_t n, double wall_ms) {
+  return wall_ms > 0 ? static_cast<double>(n) / (wall_ms / 1000.0) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int repeat = 3;
+  std::string json_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) repeat = std::atoi(argv[i] + 9);
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_simspeed.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--check=", 8) == 0) check_path = argv[i] + 8;
+  }
+  repeat = std::max(repeat, 1);
+
+  std::cout << "== simspeed: simulator self-throughput (wall-clock) ==\n"
+            << "frames = data+ack frames on the wire; events = simulator "
+               "events executed; best of " << repeat << " runs\n\n";
+
+  stats::Table t({"workload", "frames", "events", "wall(ms)", "sim(ms)",
+                  "Kframes/s", "Kevents/s", "counters"});
+  std::vector<std::pair<Workload, RunStats>> results;
+  RunStats total;
+  for (const Workload& w : workloads(quick)) {
+    RunStats r = measure(w, repeat);
+    results.emplace_back(w, r);
+    total.frames += r.frames;
+    total.events += r.events;
+    total.wall_ms += r.wall_ms;
+    t.row()
+        .cell(w.name)
+        .cell(r.frames)
+        .cell(r.events)
+        .cell(r.wall_ms, 1)
+        .cell(r.sim_ms, 1)
+        .cell(per_sec(r.frames, r.wall_ms) / 1e3, 1)
+        .cell(per_sec(r.events, r.wall_ms) / 1e3, 1)
+        .cell(hex(r.counters_fnv));
+  }
+  t.print(std::cout);
+  const double total_fps = per_sec(total.frames, total.wall_ms);
+  std::cout << "\ntotal: " << total.frames << " frames / " << total.events
+            << " events in " << total.wall_ms << " ms  =>  "
+            << total_fps / 1e3 << " Kframes/s, "
+            << per_sec(total.events, total.wall_ms) / 1e3 << " Kevents/s\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"simspeed\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [w, r] = results[i];
+      out << "    {\"name\": \"" << w.name << "\", \"frames\": " << r.frames
+          << ", \"events\": " << r.events
+          << ", \"wall_ms\": " << stats::json::number(r.wall_ms)
+          << ", \"sim_ms\": " << stats::json::number(r.sim_ms)
+          << ", \"frames_per_sec\": "
+          << stats::json::number(per_sec(r.frames, r.wall_ms))
+          << ", \"events_per_sec\": "
+          << stats::json::number(per_sec(r.events, r.wall_ms))
+          << ", \"counters_fnv1a\": \"" << hex(r.counters_fnv) << "\"}"
+          << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n  \"total\": {\"frames\": " << total.frames
+        << ", \"events\": " << total.events
+        << ", \"wall_ms\": " << stats::json::number(total.wall_ms)
+        << ", \"frames_per_sec\": " << stats::json::number(total_fps)
+        << ", \"events_per_sec\": "
+        << stats::json::number(per_sec(total.events, total.wall_ms))
+        << "}\n}\n";
+    std::cout << "wrote " << json_path << '\n';
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "ERROR: cannot open baseline " << check_path << '\n';
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    stats::json::Value doc;
+    std::string err;
+    if (!stats::json::parse(ss.str(), doc, &err)) {
+      std::cerr << "ERROR: bad baseline JSON: " << err << '\n';
+      return 1;
+    }
+    const stats::json::Value* tot = doc.find("total");
+    const stats::json::Value* base_fps =
+        tot ? tot->find("frames_per_sec") : nullptr;
+    if (!base_fps || !base_fps->is_number()) {
+      std::cerr << "ERROR: baseline missing total.frames_per_sec\n";
+      return 1;
+    }
+    // Counter fingerprints are exact (deterministic protocol); wall-clock
+    // throughput gets a 20% noise allowance.
+    bool ok = true;
+    const stats::json::Value* wl = doc.find("workloads");
+    if (wl && wl->is_array()) {
+      for (const auto& e : wl->array) {
+        const stats::json::Value* name = e.find("name");
+        const stats::json::Value* fnv = e.find("counters_fnv1a");
+        if (!name || !fnv) continue;
+        for (const auto& [w, r] : results) {
+          if (w.name != name->string) continue;
+          if (hex(r.counters_fnv) != fnv->string) {
+            std::cerr << "CHECK FAIL: workload " << w.name
+                      << " counters fingerprint drifted (baseline "
+                      << fnv->string << ", now " << hex(r.counters_fnv)
+                      << ") — protocol behavior changed\n";
+            ok = false;
+          }
+        }
+      }
+    }
+    const double floor = base_fps->number * 0.8;
+    if (total_fps < floor) {
+      std::cerr << "CHECK FAIL: total frames/sec " << total_fps
+                << " regressed >20% vs baseline " << base_fps->number << '\n';
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::cout << "check OK: " << total_fps << " frames/s vs baseline "
+              << base_fps->number << " (floor " << floor << "), fingerprints match\n";
+  }
+  return 0;
+}

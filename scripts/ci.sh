@@ -16,6 +16,9 @@
 #   BUILD_DIR           build directory (default: build, or build-san when
 #                       sanitizers are on)
 #   CTEST_LABEL         ctest -L label to run (default: tier1)
+#   MULTIEDGE_SKIP_BENCH  set non-empty to skip the Release bench smoke stage
+#   BENCH_BUILD_DIR     Release build directory for the bench stage
+#                       (default: build-bench)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,5 +50,22 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 echo "== ctest -L $LABEL"
 ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$(nproc)"
+
+# A green test tier is necessary but not sufficient for the hot path: a
+# Release bench smoke catches throughput regressions and — via the exact
+# per-workload counter fingerprints in BENCH_simspeed.json — any behavioral
+# drift in the protocol. Skipped under sanitizers (wall-clock there is
+# meaningless) or when MULTIEDGE_SKIP_BENCH is set.
+if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
+  BENCH_DIR="${BENCH_BUILD_DIR:-build-bench}"
+  BGEN_ARGS=()
+  if [ ! -f "$BENCH_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    BGEN_ARGS+=(-G Ninja)
+  fi
+  echo "== bench smoke ($BENCH_DIR, Release)"
+  cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed
+  "$BENCH_DIR"/bench/simspeed --check=BENCH_simspeed.json
+fi
 
 echo "== OK"

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "net/frame_pool.hpp"
+
 namespace multiedge::net {
 
 void Channel::schedule_delivery(FramePtr frame) {
@@ -62,9 +64,9 @@ void Channel::send(FramePtr frame) {
       tracer_->record(sim_.now(), trace::EventType::kWireCorrupt, trace_node_,
                       trace_rail_, -1, frame->payload.size());
     }
-    auto damaged = std::make_shared<Frame>(*frame);
+    auto damaged = frame_pool().clone(*frame);
     damaged->fcs_bad = true;
-    frame = damaged;
+    frame = std::move(damaged);
   }
   if (rng_.chance(faults_.dup_prob)) {
     // Both copies hit the wire; each gets its own jitter draw, so the

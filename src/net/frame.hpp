@@ -8,9 +8,12 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,9 +34,76 @@ struct MacAddr {
   std::string to_string() const;
 };
 
+/// Fixed-capacity inline payload storage: an MTU-sized small buffer living
+/// inside the Frame itself, so building, pooling, or cloning a frame never
+/// allocates. Keeps the std::vector surface the rest of the tree uses
+/// (resize / size / data / operator[]) and converts to std::span for the
+/// codecs. Capacity is the MTU; resize beyond it asserts.
+class Payload {
+ public:
+  static constexpr std::size_t kCapacity = 1500;
+
+  // User-provided (not defaulted) so a value-initialized Frame does not
+  // zero the whole buffer; contents beyond size() are indeterminate, like
+  // a vector's spare capacity.
+  Payload() {}
+  Payload(const Payload& o) : size_(o.size_) {
+    std::memcpy(buf_, o.buf_, size_);
+  }
+  Payload& operator=(const Payload& o) {
+    size_ = o.size_;
+    std::memmove(buf_, o.buf_, size_);
+    return *this;
+  }
+  Payload& operator=(std::span<const std::byte> s) {
+    assign(s.data(), s.size());
+    return *this;
+  }
+  Payload& operator=(const std::vector<std::byte>& v) {
+    assign(v.data(), v.size());
+    return *this;
+  }
+
+  /// Grow/shrink; grown bytes are zero-filled (std::vector semantics, which
+  /// keeps recycled frames content-deterministic). Hot paths that overwrite
+  /// every byte use resize_for_overwrite().
+  void resize(std::size_t n) {
+    assert(n <= kCapacity);
+    if (n > size_) std::memset(buf_ + size_, 0, n - size_);
+    size_ = n;
+  }
+  /// Set the size without touching the contents; the caller must write all
+  /// `n` bytes (see encode_frame_payload_into).
+  void resize_for_overwrite(std::size_t n) {
+    assert(n <= kCapacity);
+    size_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::byte* data() { return buf_; }
+  const std::byte* data() const { return buf_; }
+  std::byte& operator[](std::size_t i) { return buf_[i]; }
+  const std::byte& operator[](std::size_t i) const { return buf_[i]; }
+
+  operator std::span<std::byte>() { return {buf_, size_}; }
+  operator std::span<const std::byte>() const { return {buf_, size_}; }
+
+ private:
+  void assign(const std::byte* p, std::size_t n) {
+    assert(n <= kCapacity);
+    std::memcpy(buf_, p, n);
+    size_ = n;
+  }
+
+  std::size_t size_ = 0;
+  std::byte buf_[kCapacity];
+};
+
 struct Frame {
   /// Maximum payload (no jumbo frames — see header comment).
-  static constexpr std::size_t kMtu = 1500;
+  static constexpr std::size_t kMtu = Payload::kCapacity;
   /// Minimum payload (Ethernet 64-byte minimum frame).
   static constexpr std::size_t kMinPayload = 46;
   /// dst(6) + src(6) + ethertype(2).
@@ -47,7 +117,7 @@ struct Frame {
   MacAddr dst;
   MacAddr src;
   std::uint16_t ethertype = kEthertypeMultiEdge;
-  std::vector<std::byte> payload;
+  Payload payload;
 
   /// Set by the link error model: frame arrives but fails the FCS check.
   bool fcs_bad = false;
@@ -59,9 +129,15 @@ struct Frame {
   }
 };
 
-/// Frames are immutable once sent; multiple queues may reference one frame
-/// (e.g. the sender's retransmission buffer and an in-flight copy).
+/// Read-only handle used once a frame is handed to the transport. Frames are
+/// logically immutable in flight; the owning sender may patch one in place
+/// (piggy-backed ACK refresh on retransmit) only while it holds the sole
+/// reference — see Connection::try_transmit's copy-on-write check.
 using FramePtr = std::shared_ptr<const Frame>;
+
+/// Mutable handle used while a frame is being built or patched; converts
+/// implicitly to FramePtr.
+using MutFramePtr = std::shared_ptr<Frame>;
 
 /// Anything that can accept a frame from a channel (NIC rx, switch port).
 class FrameSink {

@@ -1,0 +1,81 @@
+#include "net/frame_pool.hpp"
+
+#include <memory>
+#include <new>
+
+namespace multiedge::net {
+
+template <typename T>
+struct FramePool::Alloc {
+  using value_type = T;
+
+  FramePool* pool;
+
+  explicit Alloc(FramePool* p) : pool(p) {}
+  template <typename U>
+  Alloc(const Alloc<U>& o) : pool(o.pool) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool->take_block(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    pool->give_block(p, n * sizeof(T), alignof(T));
+  }
+
+  template <typename U>
+  bool operator==(const Alloc<U>& o) const {
+    return pool == o.pool;
+  }
+};
+
+FramePool::FramePool(std::size_t max_idle) : max_idle_(max_idle) {
+  idle_.reserve(max_idle < 1024 ? max_idle : 1024);
+}
+
+FramePool::~FramePool() {
+  for (void* p : idle_) {
+    ::operator delete(p, std::align_val_t{block_align_});
+  }
+}
+
+void* FramePool::take_block(std::size_t bytes, std::size_t align) {
+  if (block_bytes_ == 0) {
+    block_bytes_ = bytes;
+    block_align_ = align;
+  }
+  if (bytes == block_bytes_ && align == block_align_ && !idle_.empty()) {
+    void* p = idle_.back();
+    idle_.pop_back();
+    ++reused_;
+    return p;
+  }
+  ++fresh_;
+  return ::operator new(bytes, std::align_val_t{align});
+}
+
+void FramePool::give_block(void* p, std::size_t bytes, std::size_t align) {
+  if (bytes == block_bytes_ && align == block_align_ &&
+      idle_.size() < max_idle_) {
+    idle_.push_back(p);
+    return;
+  }
+  ++overflow_;
+  ::operator delete(p, std::align_val_t{align});
+}
+
+MutFramePtr FramePool::acquire() {
+  return std::allocate_shared<Frame>(Alloc<Frame>(this));
+}
+
+MutFramePtr FramePool::clone(const Frame& src) {
+  MutFramePtr f = acquire();
+  *f = src;
+  return f;
+}
+
+FramePool& frame_pool() {
+  static FramePool* pool = new FramePool();  // leaked by design, see header
+  return *pool;
+}
+
+}  // namespace multiedge::net

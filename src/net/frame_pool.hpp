@@ -1,0 +1,79 @@
+// Recycling allocator for Frames.
+//
+// Every data/ack/ctrl frame on the hot path used to be a fresh
+// std::make_shared<Frame> plus a per-frame std::vector payload; at line rate
+// that is two allocator round-trips per frame and dominates per-frame cost.
+// The pool removes both: Frame carries its payload inline (net::Payload),
+// and the pool hands out frames via std::allocate_shared with a freelist
+// allocator, so the shared_ptr control block and the Frame live in one
+// recycled memory block. Releasing the last reference returns the block to
+// the freelist through the allocator — the "custom deleter" is the
+// allocator's deallocate, which (unlike a hand-rolled deleter) also keeps
+// weak_ptr/aliasing semantics intact and needs no second allocation.
+//
+// The freelist is bounded: at most `max_idle` blocks are kept; beyond that,
+// releases free memory and acquires fall back to plain heap allocation
+// (exhaustion never fails, it just stops being free). Single-threaded by
+// design, like the simulator that drives it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace multiedge::net {
+
+class FramePool {
+ public:
+  static constexpr std::size_t kDefaultMaxIdle = 4096;
+
+  explicit FramePool(std::size_t max_idle = kDefaultMaxIdle);
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool();
+
+  /// A fresh default-constructed frame (empty payload), recycled from the
+  /// freelist when possible. Never fails: an empty freelist means a plain
+  /// heap allocation.
+  MutFramePtr acquire();
+
+  /// A pooled copy of `src` (payload bytes, MACs, ethertype, fcs_bad).
+  MutFramePtr clone(const Frame& src);
+
+  // --- introspection (tests, DESIGN.md numbers) ---
+  std::size_t idle() const { return idle_.size(); }
+  std::size_t max_idle() const { return max_idle_; }
+  /// Blocks obtained from the heap (first use or freelist empty).
+  std::uint64_t fresh_allocations() const { return fresh_; }
+  /// Acquires served from the freelist.
+  std::uint64_t reuses() const { return reused_; }
+  /// Releases dropped on the floor because the freelist was full.
+  std::uint64_t overflow_frees() const { return overflow_; }
+
+ private:
+  template <typename T>
+  struct Alloc;
+
+  void* take_block(std::size_t bytes, std::size_t align);
+  void give_block(void* p, std::size_t bytes, std::size_t align);
+
+  // All pooled blocks share one shape: the combined control-block + Frame
+  // allocation made by allocate_shared. The first take_block fixes it; any
+  // other request shape bypasses the freelist.
+  std::size_t block_bytes_ = 0;
+  std::size_t block_align_ = 0;
+  std::vector<void*> idle_;
+  std::size_t max_idle_;
+  std::uint64_t fresh_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// The process-wide pool used by the protocol/net hot paths. Intentionally
+/// leaked so frames released during static destruction never race a dying
+/// pool.
+FramePool& frame_pool();
+
+}  // namespace multiedge::net

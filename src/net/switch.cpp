@@ -12,20 +12,36 @@ FrameSink* Switch::add_port(Channel* out) {
   return raw;
 }
 
+void Switch::learn(const MacAddr& mac, std::size_t port) {
+  for (auto& [known, out] : mac_table_) {
+    if (known == mac) {
+      out = port;
+      return;
+    }
+  }
+  mac_table_.emplace_back(mac, port);
+}
+
+const std::size_t* Switch::lookup(const MacAddr& mac) const {
+  for (const auto& [known, out] : mac_table_) {
+    if (known == mac) return &out;
+  }
+  return nullptr;
+}
+
 void Switch::ingress(std::size_t port, FramePtr frame) {
   if (frame->fcs_bad) {
     // Store-and-forward switches verify the FCS and discard bad frames.
     ++stats_.fcs_drops;
     return;
   }
-  mac_table_[frame->src] = port;
+  learn(frame->src, port);
 
-  auto it = mac_table_.find(frame->dst);
-  if (it != mac_table_.end()) {
-    if (it->second == port) return;  // destination is behind the ingress port
+  if (const std::size_t* dst = lookup(frame->dst)) {
+    if (*dst == port) return;  // destination is behind the ingress port
     ++stats_.forwarded;
     sim_.in(cfg_.forwarding_latency,
-            [this, out = it->second, f = std::move(frame)]() mutable {
+            [this, out = *dst, f = std::move(frame)]() mutable {
               enqueue(out, std::move(f));
             });
     return;

@@ -5,9 +5,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -68,12 +68,17 @@ class Switch {
   void ingress(std::size_t port, FramePtr frame);
   void enqueue(std::size_t port, FramePtr frame);
   void try_transmit(std::size_t port);
+  void learn(const MacAddr& mac, std::size_t port);
+  const std::size_t* lookup(const MacAddr& mac) const;
 
   sim::Simulator& sim_;
   SwitchConfig cfg_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::map<MacAddr, std::size_t> mac_table_;
+  // MAC learning table. A station count is a handful of node*rail entries,
+  // so a flat array beats a tree: lookup is a short linear scan with no
+  // pointer chasing, and learning an already-known MAC writes one slot.
+  std::vector<std::pair<MacAddr, std::size_t>> mac_table_;
   Stats stats_;
 };
 

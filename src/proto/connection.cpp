@@ -1,8 +1,10 @@
 #include "proto/connection.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
+#include "net/frame_pool.hpp"
 #include "proto/engine.hpp"
 
 namespace multiedge::proto {
@@ -47,6 +49,15 @@ Connection::Connection(Engine& engine, std::uint32_t local_id, int peer_node,
       ack_timer_(engine.sim(), [this] { on_ack_timeout(engine_.proto_cpu()); }),
       nack_timer_(engine.sim(), [this] { on_nack_timeout(engine_.proto_cpu()); }) {
   assert(!links_.empty());
+  // The window is fixed for the connection's lifetime (§2.4): size every
+  // seq-indexed ring once, here, and never rehash or rebalance again.
+  const std::size_t w = std::max<std::size_t>(engine_.config().window_frames, 1);
+  unacked_.resize(std::bit_ceil(w));
+  seq_mask_ = unacked_.size() - 1;
+  retx_queued_seqs_.init(w);
+  ooo_buffer_.init(w);
+  rcvd_above_.init(w);
+  gaps_.init(w);
 }
 
 // ---------------------------------------------------------------------------
@@ -76,8 +87,8 @@ void Connection::fragment_op(FrameKind kind, OpType op_type, SendOp& op,
     const std::size_t n = std::min(WireHeader::kMaxData, data.size() - off);
     h.seq = next_seq_++;
     h.frag_offset = static_cast<std::uint32_t>(off);
-    auto frame = std::make_shared<net::Frame>();
-    frame->payload = encode_frame_payload(h, {}, data.subspan(off, n));
+    auto frame = net::frame_pool().acquire();
+    encode_frame_payload_into(frame->payload, h, {}, data.subspan(off, n));
     pending_.push_back(OutFrame{std::move(frame), h.seq});
     off += n;
   } while (off < data.size());
@@ -157,7 +168,7 @@ SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_v
   fragment_op(FrameKind::kReadReq, OpType::kWrite, *op, dep, remote_va,
               local_va, {}, size);
   op->submitted_at = engine_.sim().now();
-  pending_reads_[op->op_id] = op;
+  pending_reads_.insert_or_assign(op->op_id, op);
   counters_.add("reads_submitted");
   if (auto* t = engine_.tracer()) {
     t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
@@ -206,7 +217,7 @@ std::size_t Connection::pick_link() {
   return 0;
 }
 
-bool Connection::transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
+bool Connection::transmit_on_some_link(const net::MutFramePtr& frame,
                                        std::uint64_t seq, sim::Cpu& cpu) {
   const std::size_t start = pick_link();
   for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -239,28 +250,32 @@ void Connection::try_transmit(sim::Cpu& cpu) {
   bool sent_any = false;
 
   // Retransmissions first: they are already inside the window and unblock
-  // the receiver. Each retransmission goes out as a fresh copy so in-flight
-  // frames from earlier transmissions are never mutated.
+  // the receiver. The retained frame is patched and re-sent in place when we
+  // hold its only reference (the earlier transmission fully drained);
+  // otherwise a pooled clone goes out, so in-flight frames are never mutated.
   while (!retx_queue_.empty()) {
-    OutFrame& of = retx_queue_.front();
-    if (of.seq < snd_una_) {
+    const std::uint64_t seq = retx_queue_.front();
+    if (seq < snd_una_) {
       // Acknowledged while queued: obsolete.
-      retx_queued_seqs_.erase(of.seq);
+      retx_queued_seqs_.erase(seq);
       retx_queue_.pop_front();
       continue;
     }
-    auto clone = std::make_shared<net::Frame>(*of.frame);
-    if (!transmit_on_some_link(clone, of.seq, cpu)) break;
+    net::MutFramePtr& retained = unacked_[seq & seq_mask_];
+    net::MutFramePtr frame = retained.use_count() == 1
+                                 ? retained
+                                 : net::frame_pool().clone(*retained);
+    if (!transmit_on_some_link(frame, seq, cpu)) break;
     counters_.add(kCtrRetransmissions);
     if (auto* t = engine_.tracer()) {
       t->record(engine_.sim().now(), trace::EventType::kRetransmit,
-                engine_.node_id(), -1, static_cast<int>(local_id_), of.seq);
+                engine_.node_id(), -1, static_cast<int>(local_id_), seq);
     }
     if (auto* ck = engine_.checker()) {
-      ck->on_frame_sent(*this, of.seq, unacked_.size(),
+      ck->on_frame_sent(*this, seq, frames_in_flight(),
                         engine_.config().window_frames);
     }
-    retx_queued_seqs_.erase(of.seq);
+    retx_queued_seqs_.erase(seq);
     retx_queue_.pop_front();
     sent_any = true;
   }
@@ -289,9 +304,10 @@ void Connection::try_transmit(sim::Cpu& cpu) {
                   snd_una_);
       }
     }
-    unacked_.emplace(of.seq, std::move(of.frame));
+    unacked_[of.seq & seq_mask_] = std::move(of.frame);
+    snd_tx_next_ = of.seq + 1;
     if (auto* ck = engine_.checker()) {
-      ck->on_frame_sent(*this, of.seq, unacked_.size(),
+      ck->on_frame_sent(*this, of.seq, frames_in_flight(),
                         engine_.config().window_frames);
     }
     pending_.pop_front();
@@ -310,10 +326,14 @@ void Connection::try_transmit(sim::Cpu& cpu) {
 void Connection::process_ack(std::uint64_t ack, sim::Cpu& cpu) {
   if (auto* ck = engine_.checker()) ck->on_ack_received(*this, ack);
   if (ack <= snd_una_) return;
-  unacked_.erase(unacked_.begin(), unacked_.lower_bound(ack));
+  for (std::uint64_t s = snd_una_, hi = std::min(ack, snd_tx_next_); s < hi;
+       ++s) {
+    unacked_[s & seq_mask_].reset();  // frame storage returns to the pool
+  }
   snd_una_ = ack;  // obsolete retx entries are skipped in try_transmit()
+  if (snd_tx_next_ < snd_una_) snd_tx_next_ = snd_una_;
   complete_acked_ops(cpu);
-  if (unacked_.empty() && retx_queue_.empty()) {
+  if (frames_in_flight() == 0 && retx_queue_.empty()) {
     retransmit_timer_.cancel();
   } else {
     retransmit_timer_.schedule(engine_.config().retransmit_timeout);
@@ -359,25 +379,22 @@ void Connection::handle_ack_frame(const DecodedFrame& df, sim::Cpu& cpu) {
   if (!df.nacks.empty()) {
     counters_.add("nacks_rcvd", df.nacks.size());
     for (std::uint64_t seq : df.nacks) {
-      auto it = unacked_.find(seq);
-      if (it == unacked_.end()) continue;  // already acked or retransmitted+acked
-      if (retx_queued_seqs_.insert(seq).second) {
-        retx_queue_.push_back(OutFrame{it->second, seq});
+      if (seq < snd_una_ || seq >= snd_tx_next_) {
+        continue;  // already acked or retransmitted+acked
       }
+      if (retx_queued_seqs_.insert(seq)) retx_queue_.push_back(seq);
     }
     try_transmit(cpu);
   }
 }
 
 void Connection::on_retransmit_timeout(sim::Cpu& cpu) {
-  if (unacked_.empty()) return;
+  if (frames_in_flight() == 0) return;
   // §2.4: retransmit the *last transmitted* frame. The duplicate prods the
   // receiver into re-acking (and NACKing every gap it still sees).
-  const auto last = std::prev(unacked_.end());
+  const std::uint64_t last = snd_tx_next_ - 1;
   counters_.add("rto_events");
-  if (retx_queued_seqs_.insert(last->first).second) {
-    retx_queue_.push_back(OutFrame{last->second, last->first});
-  }
+  if (retx_queued_seqs_.insert(last)) retx_queue_.push_back(last);
   retransmit_timer_.schedule(engine_.config().retransmit_timeout);
   try_transmit(cpu);
 }
@@ -403,8 +420,8 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
   // Duplicate detection.
   bool duplicate = seq < rcv_nxt_;
   if (!duplicate && seq > rcv_nxt_) {
-    duplicate = in_order_mode ? ooo_buffer_.count(seq) > 0
-                              : rcvd_above_.count(seq) > 0;
+    duplicate = in_order_mode ? ooo_buffer_.contains(seq)
+                              : rcvd_above_.contains(seq);
   }
   if (duplicate) {
     on_duplicate(seq, cpu);
@@ -415,21 +432,14 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
 
   if (seq > rcv_nxt_) {
     counters_.add(kCtrOooFramesRcvd);
-    // Record any newly-opened gaps below this frame.
-    std::uint64_t scan_from = rcv_nxt_;
-    if (!gaps_.empty()) scan_from = std::max(scan_from, gaps_.rbegin()->first + 1);
-    if (in_order_mode) {
-      if (!ooo_buffer_.empty())
-        scan_from = std::max(scan_from, ooo_buffer_.rbegin()->first + 1);
-    } else {
-      if (!rcvd_above_.empty())
-        scan_from = std::max(scan_from, *rcvd_above_.rbegin() + 1);
-    }
-    for (std::uint64_t m = scan_from; m < seq; ++m) {
+    // Every seq in [rcv_nxt_, rx_frontier_) is either accepted or already a
+    // known gap, so only [rx_frontier_, seq) opens new gaps.
+    for (std::uint64_t m = std::max(rcv_nxt_, rx_frontier_); m < seq; ++m) {
       gaps_.emplace(m, Gap{engine_.sim().now(), 0, false, 0});
     }
   }
   gaps_.erase(seq);
+  rx_frontier_ = std::max(rx_frontier_, seq + 1);
   if (auto* ck = engine_.checker()) ck->on_seq_accepted(*this, seq);
 
   if (in_order_mode) {
@@ -437,10 +447,10 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
       ++rcv_nxt_;
       apply_or_block(std::move(frag), cpu);
       // Drain now-contiguous buffered frames.
-      for (auto it = ooo_buffer_.find(rcv_nxt_); it != ooo_buffer_.end();
-           it = ooo_buffer_.find(rcv_nxt_)) {
-        BufferedFrag next = std::move(it->second);
-        ooo_buffer_.erase(it);
+      for (BufferedFrag* bp = ooo_buffer_.find(rcv_nxt_); bp != nullptr;
+           bp = ooo_buffer_.find(rcv_nxt_)) {
+        BufferedFrag next = std::move(*bp);
+        ooo_buffer_.erase(rcv_nxt_);
         ++rcv_nxt_;
         apply_or_block(std::move(next), cpu);
       }
@@ -469,14 +479,18 @@ void Connection::after_new_data_frame(sim::Cpu& cpu) {
 
   // NACK any gaps that crossed their thresholds.
   bool nacks_due = false;
-  for (const auto& [seq, gap] : gaps_) {
-    if (!gap.nacked && (gap.frames_since >= cfg.nack_frame_threshold ||
-                        engine_.sim().now() - gap.first_seen >= cfg.nack_timeout)) {
-      nacks_due = true;
-      break;
+  if (!gaps_.empty()) {
+    const sim::Time now = engine_.sim().now();
+    for (std::uint64_t m = rcv_nxt_; m < rx_frontier_ && !nacks_due; ++m) {
+      const Gap* gap = gaps_.find(m);
+      if (gap != nullptr && !gap->nacked &&
+          (gap->frames_since >= cfg.nack_frame_threshold ||
+           now - gap->first_seen >= cfg.nack_timeout)) {
+        nacks_due = true;
+      }
     }
+    nack_timer_.schedule_if_idle(cfg.nack_timeout);
   }
-  if (!gaps_.empty()) nack_timer_.schedule_if_idle(cfg.nack_timeout);
 
   ++rx_since_ack_;
   if (nacks_due || rx_since_ack_ >= cfg.ack_threshold) {
@@ -487,7 +501,14 @@ void Connection::after_new_data_frame(sim::Cpu& cpu) {
 }
 
 void Connection::note_gap_progress() {
-  for (auto& [seq, gap] : gaps_) ++gap.frames_since;
+  if (gaps_.empty()) return;
+  std::size_t remaining = gaps_.size();
+  for (std::uint64_t m = rcv_nxt_; m < rx_frontier_ && remaining > 0; ++m) {
+    if (Gap* gap = gaps_.find(m)) {
+      ++gap->frames_since;
+      --remaining;
+    }
+  }
 }
 
 void Connection::on_duplicate(std::uint64_t seq, sim::Cpu& cpu) {
@@ -500,20 +521,27 @@ void Connection::on_duplicate(std::uint64_t seq, sim::Cpu& cpu) {
   send_explicit_ack(cpu, /*force_nacks=*/false);
 }
 
-std::vector<std::uint64_t> Connection::collect_due_nacks(bool force_all) {
+const std::vector<std::uint64_t>& Connection::collect_due_nacks(bool force_all) {
   const auto& cfg = engine_.config();
   const sim::Time now = engine_.sim().now();
-  std::vector<std::uint64_t> due;
-  for (auto& [seq, gap] : gaps_) {
+  std::vector<std::uint64_t>& due = nack_scratch_;
+  due.clear();
+  if (gaps_.empty()) return due;
+  std::size_t remaining = gaps_.size();
+  for (std::uint64_t m = rcv_nxt_; m < rx_frontier_ && remaining > 0; ++m) {
+    Gap* gap = gaps_.find(m);
+    if (gap == nullptr) continue;
+    --remaining;
     if (due.size() >= WireHeader::kMaxNacks) break;
-    const bool fresh_due = !gap.nacked &&
-                           (gap.frames_since >= cfg.nack_frame_threshold ||
-                            now - gap.first_seen >= cfg.nack_timeout);
-    const bool renack_due = gap.nacked && now - gap.nacked_at >= cfg.renack_timeout;
+    const bool fresh_due = !gap->nacked &&
+                           (gap->frames_since >= cfg.nack_frame_threshold ||
+                            now - gap->first_seen >= cfg.nack_timeout);
+    const bool renack_due =
+        gap->nacked && now - gap->nacked_at >= cfg.renack_timeout;
     if (force_all || fresh_due || renack_due) {
-      due.push_back(seq);
-      gap.nacked = true;
-      gap.nacked_at = now;
+      due.push_back(m);
+      gap->nacked = true;
+      gap->nacked_at = now;
     }
   }
   return due;
@@ -521,7 +549,7 @@ std::vector<std::uint64_t> Connection::collect_due_nacks(bool force_all) {
 
 void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
   if (state_ != ConnState::kEstablished) return;
-  const std::vector<std::uint64_t> nacks = collect_due_nacks(force_nacks);
+  const std::vector<std::uint64_t>& nacks = collect_due_nacks(force_nacks);
 
   WireHeader h;
   h.kind = FrameKind::kAck;
@@ -529,9 +557,10 @@ void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
   h.src_node = static_cast<std::uint16_t>(engine_.node_id());
   h.ack = rcv_nxt_;
 
-  auto frame = std::make_shared<net::Frame>();
-  frame->payload = encode_frame_payload(
-      h, std::span<const std::uint64_t>(nacks.data(), nacks.size()), {});
+  auto frame = net::frame_pool().acquire();
+  encode_frame_payload_into(
+      frame->payload, h,
+      std::span<const std::uint64_t>(nacks.data(), nacks.size()), {});
   cpu.charge(engine_.costs().ack_build_cost);
 
   const std::size_t start = pick_link();
@@ -588,8 +617,7 @@ void Connection::on_nack_timeout(sim::Cpu& cpu) {
 // ---------------------------------------------------------------------------
 
 Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr) {
-  auto it = recv_ops_.find(hdr.op_id);
-  if (it != recv_ops_.end()) return it->second;
+  if (RecvOp* existing = recv_ops_.find(hdr.op_id)) return *existing;
   RecvOp op;
   op.op_id = hdr.op_id;
   op.flags = hdr.op_flags;
@@ -610,7 +638,7 @@ Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr) {
       op.assembly.resize(hdr.op_size);
     }
   }
-  return recv_ops_.emplace(hdr.op_id, std::move(op)).first->second;
+  return recv_ops_.emplace(hdr.op_id, std::move(op));
 }
 
 bool Connection::recv_op_completed(std::uint64_t op_id) const {
@@ -688,10 +716,9 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
                          op.read_req_op, cpu);
   } else if (op.is_read_resp) {
     // Response fully applied at the initiator: finish the pending read.
-    auto it = pending_reads_.find(op.read_req_op);
-    if (it != pending_reads_.end()) {
-      SendOpPtr rop = std::move(it->second);
-      pending_reads_.erase(it);
+    if (SendOpPtr* slot = pending_reads_.find(op.read_req_op)) {
+      SendOpPtr rop = std::move(*slot);
+      pending_reads_.erase(op.read_req_op);
       rop->complete = true;
       counters_.add("reads_completed");
       if (auto* t = engine_.tracer()) {
@@ -717,7 +744,7 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
   } else {
     recv_completed_above_.insert(op_id);
   }
-  recv_ops_.erase(op_id);
+  recv_ops_.erase(op_id);  // `op` dangles from here on
   unblock_ops(cpu);
 }
 
@@ -725,7 +752,8 @@ void Connection::unblock_ops(sim::Cpu& cpu) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto& [id, op] : recv_ops_) {
+    for (std::size_t i = 0; i < recv_ops_.size(); ++i) {
+      RecvOp& op = recv_ops_[i].second;
       if (!op.blocked.empty() && fences_satisfied(op)) {
         std::vector<BufferedFrag> frags = std::move(op.blocked);
         op.blocked.clear();
@@ -737,7 +765,7 @@ void Connection::unblock_ops(sim::Cpu& cpu) {
         for (const auto& fr : frags) apply_frag(op, fr, cpu);
         maybe_complete(op, cpu);  // may erase `op` and recurse
         progress = true;
-        break;  // map mutated: restart the scan
+        break;  // container mutated: restart the scan
       }
     }
   }

@@ -9,6 +9,14 @@
 //    that applies fragments to user memory either strictly in frame order
 //    (2L mode) or as they arrive subject to fence constraints (2Lu mode).
 //
+// Window state lives in flat rings indexed by `seq & mask` (see
+// seq_ring.hpp): the window size is fixed at construction (§2.4), every live
+// sequence number sits within one window of the respective frontier, and a
+// bit_ceil(window)-slot ring gives O(1) allocation-free lookups where this
+// class previously paid std::map node churn per frame. Frames themselves are
+// recycled through net::FramePool and retransmissions patch the retained
+// frame in place when no earlier transmission still references it.
+//
 // Cost accounting: methods that consume CPU take the Cpu to charge, because
 // the same code runs in syscall context (application CPU) and in the
 // protocol-thread context (protocol CPU).
@@ -16,7 +24,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <set>
 #include <span>
@@ -24,6 +31,7 @@
 
 #include "driver/net_driver.hpp"
 #include "proto/config.hpp"
+#include "proto/seq_ring.hpp"
 #include "proto/types.hpp"
 #include "proto/wire.hpp"
 #include "sim/cpu.hpp"
@@ -128,7 +136,9 @@ class Connection {
   std::uint64_t snd_nxt() const { return next_seq_; }
   std::uint64_t rcv_nxt() const { return rcv_nxt_; }
   /// Transmitted-but-unacknowledged frames (always <= window_frames).
-  std::size_t frames_in_flight() const { return unacked_.size(); }
+  std::size_t frames_in_flight() const {
+    return static_cast<std::size_t>(snd_tx_next_ - snd_una_);
+  }
   std::size_t reorder_buffer_depth() const {
     return ooo_buffer_.size() + rcvd_above_.size();
   }
@@ -174,9 +184,9 @@ class Connection {
     sim::Time nacked_at = 0;
   };
 
-  // A built frame waiting to be transmitted (or retransmitted).
+  // A built frame waiting for its first transmission.
   struct OutFrame {
-    std::shared_ptr<net::Frame> frame;
+    net::MutFramePtr frame;
     std::uint64_t seq = 0;
   };
 
@@ -188,13 +198,12 @@ class Connection {
                             std::uint32_t size, std::uint64_t req_op_id,
                             sim::Cpu& cpu);
   std::size_t pick_link();
-  bool transmit_on_some_link(const std::shared_ptr<net::Frame>& frame,
-                             std::uint64_t seq, sim::Cpu& cpu);
+  bool transmit_on_some_link(const net::MutFramePtr& frame, std::uint64_t seq,
+                             sim::Cpu& cpu);
   void complete_acked_ops(sim::Cpu& cpu);
 
-  void accept_new_seq(std::uint64_t seq);
   void note_gap_progress();
-  std::vector<std::uint64_t> collect_due_nacks(bool force_all);
+  const std::vector<std::uint64_t>& collect_due_nacks(bool force_all);
   void apply_or_block(BufferedFrag frag, sim::Cpu& cpu);
   RecvOp& recv_op_for(const WireHeader& hdr);
   bool fences_satisfied(const RecvOp& op) const;
@@ -216,29 +225,37 @@ class Connection {
   // ---- send side ----
   std::uint64_t next_seq_ = 0;     // next sequence number to assign
   std::uint64_t snd_una_ = 0;      // oldest unacknowledged sequence
+  std::uint64_t snd_tx_next_ = 0;  // one past the highest transmitted seq
   std::uint64_t next_op_id_ = 0;
   std::uint64_t ffence_latest_ = kNoFenceDep;  // last forward-fenced op
   std::deque<OutFrame> pending_;  // built, not yet sent
-  std::map<std::uint64_t, std::shared_ptr<net::Frame>> unacked_;
-  std::deque<OutFrame> retx_queue_;
-  std::set<std::uint64_t> retx_queued_seqs_;
-  std::deque<SendOpPtr> write_ops_;                  // await ack completion
-  std::map<std::uint64_t, SendOpPtr> pending_reads_;  // await response data
+  // Retained transmitted frames, a ring holding [snd_una_, snd_tx_next_):
+  // the window bound keeps that range narrower than the ring, so slot
+  // `seq & seq_mask_` is unambiguous.
+  std::vector<net::MutFramePtr> unacked_;
+  std::uint64_t seq_mask_ = 0;
+  std::deque<std::uint64_t> retx_queue_;  // seqs awaiting retransmission
+  SeqSet retx_queued_seqs_;               // dedupe for retx_queue_
+  std::deque<SendOpPtr> write_ops_;                   // await ack completion
+  FlatMap<std::uint64_t, SendOpPtr> pending_reads_;   // await response data
   std::size_t rr_next_link_ = 0;
   bool window_stalled_ = false;  // for stall/resume edge-trigger tracing
+  bool in_backlog_ = false;      // registered in the engine's backlog list
   sim::Timer retransmit_timer_;
 
   // ---- receive side ----
   std::uint64_t rcv_nxt_ = 0;
-  std::map<std::uint64_t, BufferedFrag> ooo_buffer_;  // in-order mode
-  std::set<std::uint64_t> rcvd_above_;                // out-of-order mode
-  std::map<std::uint64_t, Gap> gaps_;
+  std::uint64_t rx_frontier_ = 0;  // one past the highest accepted seq
+  SeqMap<BufferedFrag> ooo_buffer_;  // in-order mode
+  SeqSet rcvd_above_;                // out-of-order mode
+  SeqMap<Gap> gaps_;                 // keys within [rcv_nxt_, rx_frontier_)
   std::uint32_t rx_since_ack_ = 0;  // data frames since we last acked
   bool ack_on_idle_ = false;        // an op completed since the last ack
+  std::vector<std::uint64_t> nack_scratch_;  // reused by collect_due_nacks
   sim::Timer ack_timer_;
   sim::Timer nack_timer_;
 
-  std::map<std::uint64_t, RecvOp> recv_ops_;
+  FlatMap<std::uint64_t, RecvOp> recv_ops_;
   std::uint64_t recv_completed_below_ = 0;
   std::set<std::uint64_t> recv_completed_above_;
 

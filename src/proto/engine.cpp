@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/frame_pool.hpp"
+
 namespace multiedge::proto {
 
 namespace {
@@ -72,8 +74,10 @@ void Engine::thread_loop() {
   }
 
   // Poll every NIC, gathering up to one batch of frames (round-robin over
-  // rails so one busy rail cannot starve the others).
-  std::vector<RxItem> batch;
+  // rails so one busy rail cannot starve the others). The batch vector is
+  // recycled across wakeups so steady-state polling never allocates.
+  std::vector<RxItem> batch = std::move(batch_spare_);
+  batch.clear();
   bool more = true;
   while (more && batch.size() < cfg_.thread_batch_frames) {
     more = false;
@@ -98,6 +102,7 @@ void Engine::thread_loop() {
   }
 
   if (batch.empty() && completions == 0) {
+    batch_spare_ = std::move(batch);
     // Nothing to process: drain any backlog the rings now have room for,
     // send solicited acks for operations that completed during the burst,
     // re-enable interrupts, and put the thread to sleep (§2.6).
@@ -126,6 +131,8 @@ void Engine::thread_loop() {
 
   proto_cpu_.submit(cost, [this, b = std::move(batch)]() mutable {
     for (auto& item : b) dispatch(item);
+    b.clear();
+    batch_spare_ = std::move(b);
     flush_backlog();
     thread_loop();
   });
@@ -168,11 +175,12 @@ void Engine::dispatch(RxItem& item) {
 
 void Engine::flush_backlog() {
   if (backlog_.empty()) return;
-  std::vector<Connection*> conns(backlog_.begin(), backlog_.end());
-  backlog_.clear();
-  for (Connection* c : conns) {
+  backlog_scratch_.swap(backlog_);
+  for (Connection* c : backlog_scratch_) {
+    c->in_backlog_ = false;
     c->try_transmit(proto_cpu_);  // re-registers itself if still blocked
   }
+  backlog_scratch_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -180,8 +188,11 @@ void Engine::flush_backlog() {
 // ---------------------------------------------------------------------------
 
 Connection* Engine::find_conn(std::uint32_t local_id) {
-  auto it = conns_by_id_.find(local_id);
-  return it == conns_by_id_.end() ? nullptr : it->second;
+  // Ids are dense from 1, so this is a bounds check plus an array load —
+  // it runs once per received frame.
+  const std::uint32_t idx = local_id - 1;
+  return local_id != 0 && idx < conns_by_id_.size() ? conns_by_id_[idx]
+                                                    : nullptr;
 }
 
 std::vector<Connection::Link> Engine::links_to(int peer) const {
@@ -201,7 +212,8 @@ Connection* Engine::make_connection(int peer, bool is_initiator) {
       std::make_unique<Connection>(*this, id, peer, links_to(peer), is_initiator);
   Connection* raw = conn.get();
   conns_.push_back(std::move(conn));
-  conns_by_id_[id] = raw;
+  assert(id == conns_by_id_.size() + 1);
+  conns_by_id_.push_back(raw);
   return raw;
 }
 
@@ -243,8 +255,8 @@ Connection* Engine::responder_for(int peer) {
 
 void Engine::send_ctrl_frame(int peer, const WireHeader& hdr, sim::Cpu& cpu) {
   // Handshake control frames always use rail 0.
-  auto frame = std::make_shared<net::Frame>();
-  frame->payload = encode_frame_payload(hdr);
+  auto frame = net::frame_pool().acquire();
+  encode_frame_payload_into(frame->payload, hdr);
   frame->src = rails_[0]->mac();
   frame->dst = mac_table_[peer][0];
   cpu.charge(costs_.tx_frame_cost);

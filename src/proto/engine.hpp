@@ -13,7 +13,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "driver/net_driver.hpp"
@@ -80,7 +79,14 @@ class Engine {
   void set_tracer(trace::TraceRecorder* t) { tracer_ = t; }
   void deliver_notification(Notification n, sim::Cpu& cpu);
   /// Register a connection that still has frames waiting for window/ring.
-  void note_backlog(Connection* conn) { backlog_.insert(conn); }
+  /// Deduplicated by a flag on the connection; the list keeps registration
+  /// order, so draining is deterministic and allocation-free.
+  void note_backlog(Connection* conn) {
+    if (!conn->in_backlog_) {
+      conn->in_backlog_ = true;
+      backlog_.push_back(conn);
+    }
+  }
 
   // --- statistics ---
   stats::Counters& counters() { return counters_; }
@@ -129,7 +135,8 @@ class Engine {
   std::vector<std::vector<net::MacAddr>> mac_table_;
 
   std::vector<std::unique_ptr<Connection>> conns_;
-  std::map<std::uint32_t, Connection*> conns_by_id_;
+  // Dense id -> connection index (ids are handed out from 1, so slot id-1).
+  std::vector<Connection*> conns_by_id_;
   // Responder-side dedupe: (peer node, initiator conn id) -> connection.
   std::map<std::pair<int, std::uint32_t>, Connection*> responder_index_;
   std::map<std::uint32_t, PendingConnect> pending_connects_;
@@ -139,7 +146,9 @@ class Engine {
   std::deque<Notification> notifications_;
   sim::WaitQueue notify_events_;
 
-  std::set<Connection*> backlog_;
+  std::vector<Connection*> backlog_;
+  std::vector<Connection*> backlog_scratch_;  // reused by flush_backlog()
+  std::vector<RxItem> batch_spare_;           // reused by thread_loop()
   bool thread_active_ = false;
   std::unique_ptr<InvariantChecker> checker_;
   trace::TraceRecorder* tracer_ = nullptr;

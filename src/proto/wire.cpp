@@ -1,5 +1,6 @@
 #include "proto/wire.hpp"
 
+#include <cassert>
 #include <cstring>
 
 namespace multiedge::proto {
@@ -22,34 +23,65 @@ bool take(std::span<const std::byte> buf, std::size_t& off, T& value) {
   return true;
 }
 
+std::size_t encoded_size(std::span<const std::uint64_t> nacks,
+                         std::span<const std::byte> data) {
+  return WireHeader::kBytes + nacks.size() * 8 + data.size();
+}
+
+// Shared encode core writing into a caller-provided buffer of exactly
+// encoded_size() bytes. Every byte of the output is written (the header pad
+// region is zeroed explicitly), so the wire image is identical whether the
+// destination is a fresh zero-initialized vector or a recycled pooled frame.
+void encode_into_buf(std::byte* base, const WireHeader& hdr,
+                     std::span<const std::uint64_t> nacks,
+                     std::span<const std::byte> data) {
+  std::size_t off = 0;
+  put(base, off, static_cast<std::uint8_t>(hdr.kind));
+  put(base, off, static_cast<std::uint8_t>(hdr.op_type));
+  put(base, off, hdr.op_flags);
+  put(base, off, hdr.conn_id);
+  put(base, off, hdr.src_node);
+  put(base, off, static_cast<std::uint16_t>(nacks.size()));
+  put(base, off, hdr.seq);
+  put(base, off, hdr.ack);
+  put(base, off, hdr.op_id);
+  put(base, off, hdr.ffence_dep);
+  put(base, off, hdr.remote_va);
+  put(base, off, hdr.aux_va);
+  put(base, off, hdr.frag_offset);
+  put(base, off, hdr.op_size);
+  // Pad the remainder of the fixed header region.
+  std::memset(base + off, 0, WireHeader::kBytes - off);
+  off = WireHeader::kBytes;
+  for (std::uint64_t n : nacks) put(base, off, n);
+  if (!data.empty()) {
+    std::memcpy(base + off, data.data(), data.size());
+  }
+}
+
 }  // namespace
 
 std::vector<std::byte> encode_frame_payload(const WireHeader& hdr,
                                             std::span<const std::uint64_t> nacks,
                                             std::span<const std::byte> data) {
-  std::vector<std::byte> out(WireHeader::kBytes + nacks.size() * 8 + data.size());
-  std::size_t off = 0;
-  put(out.data(), off, static_cast<std::uint8_t>(hdr.kind));
-  put(out.data(), off, static_cast<std::uint8_t>(hdr.op_type));
-  put(out.data(), off, hdr.op_flags);
-  put(out.data(), off, hdr.conn_id);
-  put(out.data(), off, hdr.src_node);
-  put(out.data(), off, static_cast<std::uint16_t>(nacks.size()));
-  put(out.data(), off, hdr.seq);
-  put(out.data(), off, hdr.ack);
-  put(out.data(), off, hdr.op_id);
-  put(out.data(), off, hdr.ffence_dep);
-  put(out.data(), off, hdr.remote_va);
-  put(out.data(), off, hdr.aux_va);
-  put(out.data(), off, hdr.frag_offset);
-  put(out.data(), off, hdr.op_size);
-  // Pad the remainder of the fixed header region.
-  off = WireHeader::kBytes;
-  for (std::uint64_t n : nacks) put(out.data(), off, n);
-  if (!data.empty()) {
-    std::memcpy(out.data() + off, data.data(), data.size());
-  }
+  const std::size_t total = encoded_size(nacks, data);
+  std::vector<std::byte> out;
+  out.reserve(total);  // exact reservation: one allocation, never regrown
+  out.resize(total);
+  [[maybe_unused]] const std::byte* base = out.data();
+  encode_into_buf(out.data(), hdr, nacks, data);
+  assert(out.data() == base && out.size() == total &&
+         "encode_frame_payload reallocated");
   return out;
+}
+
+void encode_frame_payload_into(net::Payload& out, const WireHeader& hdr,
+                               std::span<const std::uint64_t> nacks,
+                               std::span<const std::byte> data) {
+  const std::size_t total = encoded_size(nacks, data);
+  assert(total <= net::Frame::kMtu && "encoded frame exceeds MTU");
+  out.resize_for_overwrite(total);  // every byte written by the core
+  encode_into_buf(out.data(), hdr, nacks, data);
 }
 
 bool decode_frame_payload(std::span<const std::byte> payload, DecodedFrame& out) {
@@ -89,7 +121,10 @@ std::vector<std::byte> encode_scatter_payload(
     std::span<const std::span<const std::byte>> data) {
   std::size_t total = 4;
   for (std::size_t i = 0; i < chunks.size(); ++i) total += 8 + chunks[i].length;
-  std::vector<std::byte> out(total);
+  std::vector<std::byte> out;
+  out.reserve(total);  // exact reservation: one allocation, never regrown
+  out.resize(total);
+  [[maybe_unused]] const std::byte* base = out.data();
   std::size_t off = 0;
   put(out.data(), off, static_cast<std::uint32_t>(chunks.size()));
   for (std::size_t i = 0; i < chunks.size(); ++i) {
@@ -98,6 +133,8 @@ std::vector<std::byte> encode_scatter_payload(
     std::memcpy(out.data() + off, data[i].data(), chunks[i].length);
     off += chunks[i].length;
   }
+  assert(out.data() == base && off == total &&
+         "encode_scatter_payload reallocated");
   return out;
 }
 

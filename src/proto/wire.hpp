@@ -104,6 +104,14 @@ std::vector<std::byte> encode_frame_payload(
     const WireHeader& hdr, std::span<const std::uint64_t> nacks = {},
     std::span<const std::byte> data = {});
 
+/// In-place variant: encode directly into a frame's inline payload (exact
+/// size, zero heap traffic). Produces byte-identical output to
+/// encode_frame_payload — the header pad region is zeroed explicitly, so a
+/// recycled pooled frame carries no stale bytes.
+void encode_frame_payload_into(net::Payload& out, const WireHeader& hdr,
+                               std::span<const std::uint64_t> nacks = {},
+                               std::span<const std::byte> data = {});
+
 /// Decode result: header plus views into the carried nacks and data.
 struct DecodedFrame {
   WireHeader hdr;

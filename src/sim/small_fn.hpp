@@ -1,0 +1,110 @@
+// Move-only callable with inline small-buffer storage.
+//
+// The event queue used to store std::function<void()>, which heap-allocates
+// for anything bigger than two words — i.e. for nearly every capture on the
+// hot path (this + a shared_ptr<Frame> is already 24 bytes). SmallFn keeps
+// 48 bytes inline, which covers every callback the simulator layers create;
+// larger callables still work through a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace multiedge::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* inline_ptr(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+  template <typename Fn>
+  static Fn*& heap_ptr(void* p) {
+    return *std::launder(reinterpret_cast<Fn**>(p));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*inline_ptr<Fn>(p))(); },
+      [](void* dst, void* src) {
+        Fn* s = inline_ptr<Fn>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { inline_ptr<Fn>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (*heap_ptr<Fn>(p))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(heap_ptr<Fn>(src)); },
+      [](void* p) { delete heap_ptr<Fn>(p); },
+  };
+
+  void move_from(SmallFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace multiedge::sim

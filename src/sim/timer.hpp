@@ -1,15 +1,13 @@
 // Cancellable, re-armable one-shot timer on top of the Simulator.
 //
-// The underlying event queue does not support removal, so cancellation is
-// implemented by generation counting on shared state: each (re)arm bumps a
-// generation and the queued callback fires only if its generation is still
-// current. The state is shared with the queued events, so destroying a Timer
-// with a firing still queued is safe (the event becomes a no-op).
+// A timer owns at most ONE queued event. Re-arming reschedules that event in
+// place (the simulator supports true removal), and cancel() removes it — no
+// generation-tombstone events ever sit in the queue burning pop cycles.
+// Rescheduling consumes a fresh FIFO sequence number, so same-time ordering
+// is exactly as if the firing had been newly scheduled.
 #pragma once
 
-#include <cstdint>
 #include <functional>
-#include <memory>
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -20,43 +18,51 @@ class Timer {
  public:
   using Callback = std::function<void()>;
 
-  Timer(Simulator& sim, Callback cb)
-      : sim_(sim), state_(std::make_shared<State>()) {
-    state_->cb = std::move(cb);
-  }
+  Timer(Simulator& sim, Callback cb) : sim_(sim), cb_(std::move(cb)) {}
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
+  // The queued event captures `this`; cancel() removes it, so destruction
+  // with a firing still pending is safe.
   ~Timer() { cancel(); }
 
   /// Arm (or re-arm) the timer to fire after `d`. Cancels any pending firing.
-  void schedule(Time d);
+  void schedule(Time d) {
+    deadline_ = sim_.now() + d;
+    if (pending_) {
+      sim_.reschedule(event_, deadline_);
+    } else {
+      pending_ = true;
+      event_ = sim_.at_cancellable(deadline_, [this] {
+        pending_ = false;
+        cb_();
+      });
+    }
+  }
 
   /// Arm only if not already pending (used for "start timeout if idle").
   void schedule_if_idle(Time d) {
-    if (!state_->pending) schedule(d);
+    if (!pending_) schedule(d);
   }
 
   /// Cancel a pending firing, if any.
   void cancel() {
-    ++state_->generation;
-    state_->pending = false;
+    if (pending_) {
+      sim_.cancel(event_);
+      pending_ = false;
+    }
   }
 
-  bool pending() const { return state_->pending; }
+  bool pending() const { return pending_; }
 
   /// Absolute time of the pending firing (meaningful only if pending()).
-  Time deadline() const { return state_->deadline; }
+  Time deadline() const { return deadline_; }
 
  private:
-  struct State {
-    Callback cb;
-    std::uint64_t generation = 0;
-    bool pending = false;
-    Time deadline = 0;
-  };
-
   Simulator& sim_;
-  std::shared_ptr<State> state_;
+  Callback cb_;
+  Simulator::EventId event_;
+  bool pending_ = false;
+  Time deadline_ = 0;
 };
 
 }  // namespace multiedge::sim

@@ -1,0 +1,157 @@
+// FramePool: recycling, bounded freelist, exhaustion fallback, and the
+// Payload capacity edges the pool's inline storage must honor.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/frame_pool.hpp"
+
+namespace multiedge::net {
+namespace {
+
+TEST(FramePool, RecyclesReleasedBlocks) {
+  FramePool pool(/*max_idle=*/8);
+
+  void* first_block;
+  {
+    MutFramePtr f = pool.acquire();
+    first_block = f.get();
+    EXPECT_EQ(pool.fresh_allocations(), 1u);
+    EXPECT_EQ(pool.reuses(), 0u);
+  }
+  // Last reference dropped: the combined control-block+Frame allocation goes
+  // back to the freelist, not the heap.
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(pool.overflow_frees(), 0u);
+
+  MutFramePtr again = pool.acquire();
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.fresh_allocations(), 1u);
+  EXPECT_EQ(pool.idle(), 0u);
+  // Note: the Frame need not land at the same address as the block start
+  // (control block precedes it), but the recycled acquire must not have hit
+  // the heap — which the counters above already prove. Touch first_block so
+  // the variable is meaningfully used in non-assert builds.
+  (void)first_block;
+}
+
+TEST(FramePool, AcquireReturnsPristineFrameAfterReuse) {
+  FramePool pool(/*max_idle=*/4);
+  {
+    MutFramePtr f = pool.acquire();
+    f->payload.resize(100);
+    std::memset(f->payload.data(), 0xAB, 100);
+    f->fcs_bad = true;
+    f->src = MacAddr::for_nic(3, 1);
+    f->dst = MacAddr::for_nic(7, 0);
+    f->ethertype = 0x1234;
+  }
+  MutFramePtr f = pool.acquire();
+  // acquire() constructs a fresh Frame in the recycled block: all fields are
+  // back at their defaults regardless of what the previous tenant did.
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_TRUE(f->payload.empty());
+  EXPECT_FALSE(f->fcs_bad);
+  EXPECT_EQ(f->src, MacAddr{});
+  EXPECT_EQ(f->dst, MacAddr{});
+  EXPECT_EQ(f->ethertype, Frame::kEthertypeMultiEdge);
+}
+
+TEST(FramePool, FreelistIsBoundedByMaxIdle) {
+  FramePool pool(/*max_idle=*/2);
+  std::vector<MutFramePtr> live;
+  for (int i = 0; i < 5; ++i) live.push_back(pool.acquire());
+  EXPECT_EQ(pool.fresh_allocations(), 5u);
+
+  live.clear();
+  // Only max_idle blocks are retained; the remaining releases free memory.
+  EXPECT_EQ(pool.idle(), 2u);
+  EXPECT_EQ(pool.overflow_frees(), 3u);
+}
+
+TEST(FramePool, ExhaustionFallsBackToHeapAndNeverFails) {
+  FramePool pool(/*max_idle=*/1);
+  std::vector<MutFramePtr> live;
+  // Far more simultaneously-live frames than the freelist will ever hold:
+  // every acquire past the freelist must still succeed (plain heap).
+  for (int i = 0; i < 64; ++i) {
+    MutFramePtr f = pool.acquire();
+    ASSERT_NE(f, nullptr);
+    f->payload.resize(Frame::kMinPayload);
+    live.push_back(std::move(f));
+  }
+  EXPECT_EQ(pool.fresh_allocations(), 64u);
+  EXPECT_EQ(pool.reuses(), 0u);
+}
+
+TEST(FramePool, CloneCopiesEverythingIncludingFcsState) {
+  FramePool pool(/*max_idle=*/4);
+  MutFramePtr src = pool.acquire();
+  src->src = MacAddr::for_nic(1, 0);
+  src->dst = MacAddr::for_nic(2, 1);
+  src->payload.resize(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    src->payload[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  src->fcs_bad = true;
+
+  MutFramePtr dup = pool.clone(*src);
+  ASSERT_NE(dup, src);
+  EXPECT_EQ(dup->src, src->src);
+  EXPECT_EQ(dup->dst, src->dst);
+  EXPECT_EQ(dup->ethertype, src->ethertype);
+  EXPECT_TRUE(dup->fcs_bad);
+  ASSERT_EQ(dup->payload.size(), 300u);
+  EXPECT_EQ(std::memcmp(dup->payload.data(), src->payload.data(), 300), 0);
+
+  // The clone is independent storage.
+  dup->payload[0] = std::byte{0xFF};
+  EXPECT_EQ(src->payload[0], std::byte{0x00});
+}
+
+TEST(FramePool, PayloadCapacityEdges) {
+  FramePool pool(/*max_idle=*/2);
+  MutFramePtr f = pool.acquire();
+
+  // Full MTU fits in the inline buffer and round-trips through resize.
+  f->payload.resize(Frame::kMtu);
+  EXPECT_EQ(f->payload.size(), Frame::kMtu);
+  f->payload[Frame::kMtu - 1] = std::byte{0x5A};
+  EXPECT_EQ(f->payload[Frame::kMtu - 1], std::byte{0x5A});
+
+  // Ethernet pads short frames on the wire, not in the payload object.
+  f->payload.resize(Frame::kMinPayload - 1);
+  EXPECT_EQ(f->payload.size(), Frame::kMinPayload - 1);
+  EXPECT_EQ(f->wire_bytes(), Frame::kHeaderBytes + Frame::kMinPayload +
+                                 Frame::kFcsBytes + Frame::kPreambleIfgBytes);
+
+  // Growth zero-fills (vector semantics), so recycled frames stay
+  // content-deterministic even after a smaller tenant.
+  f->payload.resize(10);
+  std::memset(f->payload.data(), 0xEE, 10);
+  f->payload.resize(4);
+  f->payload.resize(10);
+  for (std::size_t i = 4; i < 10; ++i) {
+    EXPECT_EQ(f->payload[i], std::byte{0x00}) << "index " << i;
+  }
+}
+
+TEST(FramePool, GlobalPoolRecyclesAcrossAcquires) {
+  FramePool& pool = frame_pool();
+  const std::uint64_t fresh_before = pool.fresh_allocations();
+  const std::uint64_t reuses_before = pool.reuses();
+  { MutFramePtr f = pool.acquire(); }
+  { MutFramePtr f = pool.acquire(); }
+  // The second acquire is served from the block the first one released
+  // (other suites in this binary may have warmed the freelist even earlier,
+  // so allow >= on fresh).
+  EXPECT_GE(pool.fresh_allocations(), fresh_before);
+  EXPECT_GE(pool.reuses(), reuses_before + 1);
+}
+
+}  // namespace
+}  // namespace multiedge::net

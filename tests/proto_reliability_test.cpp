@@ -294,6 +294,86 @@ TEST(Reliability, DuplicateFramesAreSuppressed) {
   EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 13));
 }
 
+// The window state lives in flat rings indexed by `seq & (capacity-1)`
+// (see proto/seq_ring.hpp), so two seqs that are exactly one ring capacity
+// apart share a slot. These tests force many ring revolutions with losses,
+// duplicates, and reordering landing right at the wrap boundary, where a
+// stale-slot bug would corrupt data or trip the invariant checker.
+TEST(Reliability, SeqRingWrapsManyTimesUnderLossTinyWindow) {
+  ClusterConfig cfg = config_1l_1g(2);
+  cfg.protocol.window_frames = 4;  // ring capacity 4: a wrap every 4 frames
+  cfg.topology.link.drop_prob = 0.05;
+  cfg.topology.link.dup_prob = 0.02;
+  CheckedCluster cluster(cfg);
+  constexpr std::size_t kSize = 200 * 1024;  // ~140 data frames, ~35 wraps
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 23);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 23));
+  const auto agg = cluster.engine(1).aggregate_counters();
+  // Enough frames flowed to revolve the 4-slot ring many times over.
+  EXPECT_GE(agg.get("data_frames_rcvd"), 16 * cfg.protocol.window_frames);
+  EXPECT_GT(cluster.engine(0).aggregate_counters().get("retransmissions"), 0u);
+}
+
+TEST(Reliability, SeqRingWrapsOutOfOrderStripedUnderBurstLoss) {
+  // Out-of-order delivery over two rails keeps the receive-side rings
+  // (out-of-order buffer, gap tracker, above-window dedupe) populated across
+  // wrap boundaries; bursty loss plus duplication makes the same seq arrive
+  // 0, 1, or 2 times in shuffled order.
+  ClusterConfig cfg = config_2lu_1g(2);
+  cfg.protocol.window_frames = 8;
+  cfg.protocol.in_order_delivery = false;
+  cfg.topology.link.dup_prob = 0.03;
+  cfg.topology.link.burst.enabled = true;
+  cfg.topology.link.burst.p_good_to_bad = 0.02;
+  cfg.topology.link.burst.p_bad_to_good = 0.2;
+  cfg.topology.link.burst.drop_bad = 0.5;
+  CheckedCluster cluster(cfg);
+  constexpr std::size_t kSize = 384 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 67);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 67));
+  const auto agg = cluster.engine(1).aggregate_counters();
+  EXPECT_GE(agg.get("data_frames_rcvd"), 16 * cfg.protocol.window_frames);
+  EXPECT_TRUE(cluster.invariant_violations().empty());
+}
+
+TEST(Reliability, SeqRingWrapSurvivesOutageAtBoundary) {
+  // A full-window outage right as the seq space crosses a ring boundary:
+  // every slot's frame dies and is retransmitted into the same slots after
+  // the RTO, with the piggy-backed ACK patched in place on the retained
+  // frames (the copy-on-write retransmit path).
+  ClusterConfig cfg = config_1l_1g(2);
+  cfg.protocol.window_frames = 8;
+  CheckedCluster cluster(cfg);
+  constexpr std::size_t kSize = 256 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  fill_pattern(cluster.memory(0), src, kSize, 89);
+  cluster.network().uplink(0, 0).faults().outages.push_back(
+      {sim::us(500), sim::ms(4)});
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+  EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 89));
+  const auto agg = cluster.engine(0).aggregate_counters();
+  EXPECT_GT(agg.get("rto_events") + agg.get("retransmissions"), 0u);
+}
+
 TEST(Reliability, WindowNeverExceeded) {
   ClusterConfig cfg = config_1l_1g(2);
   cfg.protocol.window_frames = 8;

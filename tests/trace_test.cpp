@@ -3,8 +3,10 @@
 // zero-cost-when-off, and byte-identical traces across same-seed runs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/api.hpp"
@@ -263,6 +265,100 @@ TEST(ClusterTrace, DsmEventsAppearInTrace) {
     if (cat && cat->string == "dsm") saw_dsm = true;
   }
   EXPECT_TRUE(saw_dsm);
+}
+
+// --------------------------------------------------------- golden determinism
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct GoldenRun {
+  std::uint64_t counters_fnv = 0;
+  std::uint64_t trace_fnv = 0;
+  std::size_t trace_bytes = 0;
+  std::uint64_t data_frames_rcvd = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+// A fixed scenario exercising the whole hot path: striped in-order delivery,
+// a small window (forcing seq-ring wraparound), loss + duplication (forcing
+// gap tracking and retransmission), a write and a read.
+GoldenRun golden_run(bool lossy) {
+  ClusterConfig cfg = config_2l_1g(2);
+  cfg.trace.enabled = true;
+  if (lossy) {
+    cfg.topology.link.drop_prob = 0.02;
+    cfg.topology.link.dup_prob = 0.01;
+    cfg.protocol.window_frames = 8;
+  }
+  Cluster cluster(cfg);
+  constexpr std::size_t kSize = 96 * 1024;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    c.rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+    std::uint64_t back = ep.alloc(4096);
+    c.rdma_read(back, dst, 4096).wait();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+  cluster.run();
+
+  stats::Counters all = cluster.engine(0).aggregate_counters();
+  all.merge(cluster.engine(1).aggregate_counters());
+  GoldenRun g;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, value] : all.all()) {
+    h = fnv1a(name, h);
+    h = fnv1a("=", h);
+    h = fnv1a(std::to_string(value), h);
+    h = fnv1a("\n", h);
+  }
+  g.counters_fnv = h;
+  std::ostringstream os;
+  cluster.write_trace(os);
+  const std::string doc = os.str();
+  g.trace_fnv = fnv1a(doc);
+  g.trace_bytes = doc.size();
+  g.data_frames_rcvd = all.get("data_frames_rcvd");
+  g.retransmissions = all.get("retransmissions");
+  return g;
+}
+
+// Fingerprints captured from the tree BEFORE the hot-path overhaul (frame
+// pool, ring-indexed window state, event-queue rewrite). The refactor must
+// keep same-seed runs bit-identical: counters AND the Chrome-trace export
+// bytes. Any drift here means protocol behavior changed, not just speed.
+//
+// The trace hash covers floating-point formatting, so the constants are
+// toolchain-sensitive; set MULTIEDGE_SKIP_GOLDEN=1 to skip on other stacks.
+TEST(GoldenDeterminism, CleanRunMatchesPreRefactorFingerprint) {
+  if (std::getenv("MULTIEDGE_SKIP_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden fingerprints skipped by env";
+  }
+  const GoldenRun g = golden_run(/*lossy=*/false);
+  EXPECT_EQ(g.counters_fnv, 3365255438641469871ull) << "counters drifted";
+  EXPECT_EQ(g.trace_fnv, 1421943804856322431ull) << "trace bytes drifted";
+  EXPECT_EQ(g.trace_bytes, 164657u);
+  EXPECT_EQ(g.data_frames_rcvd, 73u);
+  EXPECT_EQ(g.retransmissions, 0u);
+}
+
+TEST(GoldenDeterminism, LossyRunMatchesPreRefactorFingerprint) {
+  if (std::getenv("MULTIEDGE_SKIP_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden fingerprints skipped by env";
+  }
+  const GoldenRun g = golden_run(/*lossy=*/true);
+  EXPECT_EQ(g.counters_fnv, 17724119311279834208ull) << "counters drifted";
+  EXPECT_EQ(g.trace_fnv, 14028392604035819573ull) << "trace bytes drifted";
+  EXPECT_EQ(g.trace_bytes, 1817735u);
+  EXPECT_EQ(g.data_frames_rcvd, 74u);
+  EXPECT_EQ(g.retransmissions, 1u);
 }
 
 // ------------------------------------------------------------------- exports
