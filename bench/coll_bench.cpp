@@ -1,0 +1,374 @@
+// Collective-layer benchmark (src/coll): simulated latency/throughput of the
+// RDMA-native collectives across node counts, payload sizes, and the paper's
+// network setups (1L-1G single rail, 2L-1G striped dual rail, 1L-10G).
+//
+// Headline evidence (checked by --check against a committed baseline):
+//   * the dissemination barrier scales ~O(log N) while the linear
+//     (centralized fan-in/fan-out) barrier scales O(N) — at 16 nodes the
+//     dissemination barrier must be strictly faster;
+//   * ring all-reduce saturates both rails: on 2L-1G it must reach >= 1.7x
+//     its 1L-1G (single-rail) throughput at the largest payload.
+//
+// Usage: coll_bench [--quick] [--json[=path]] [--check=<baseline>]
+//   --json   writes the machine-readable BENCH_coll.json artifact.
+//   --check  reruns the sweep, verifies the two headline properties, and
+//            compares per-workload protocol-counter fingerprints against the
+//            baseline (exact: the simulation is deterministic).
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "core/api.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace multiedge;
+
+enum class Kind { kBarrier, kAllReduce, kAllToAll };
+
+struct Workload {
+  std::string name;
+  Kind kind;
+  coll::CollAlgo algo;
+  std::string topo;  // "1L-1G", "2L-1G", "1L-10G"
+  int nodes;
+  std::size_t bytes;  // payload per node (0 for barrier)
+  int iters;
+};
+
+const char* kind_str(Kind k) {
+  switch (k) {
+    case Kind::kBarrier: return "barrier";
+    case Kind::kAllReduce: return "allreduce";
+    case Kind::kAllToAll: return "alltoall";
+  }
+  return "?";
+}
+
+const char* algo_str(coll::CollAlgo a) {
+  switch (a) {
+    case coll::CollAlgo::kLinear: return "linear";
+    case coll::CollAlgo::kDissemination: return "dissem";
+    case coll::CollAlgo::kBinomialTree: return "tree";
+    case coll::CollAlgo::kRing: return "ring";
+    case coll::CollAlgo::kPairwise: return "pairwise";
+  }
+  return "?";
+}
+
+ClusterConfig topo_config(const std::string& topo, int nodes) {
+  if (topo == "2L-1G") return config_2l_1g(nodes);
+  if (topo == "1L-10G") return config_1l_10g(nodes);
+  return config_1l_1g(nodes);
+}
+
+std::string wl_name(Kind k, coll::CollAlgo a, const std::string& topo,
+                    int nodes, std::size_t bytes) {
+  std::ostringstream os;
+  os << kind_str(k) << '-' << algo_str(a) << '-' << topo << "-n" << nodes;
+  if (bytes) {
+    if (bytes % (1024 * 1024) == 0) {
+      os << '-' << bytes / (1024 * 1024) << "MB";
+    } else {
+      os << '-' << bytes / 1024 << "KB";
+    }
+  }
+  return os.str();
+}
+
+std::vector<Workload> workloads(bool quick) {
+  std::vector<Workload> ws;
+  const int bar_iters = quick ? 20 : 60;
+  const int ar_iters = quick ? 4 : 8;
+  auto add = [&](Kind k, coll::CollAlgo a, const std::string& topo, int nodes,
+                 std::size_t bytes, int iters) {
+    ws.push_back({wl_name(k, a, topo, nodes, bytes), k, a, topo, nodes, bytes,
+                  iters});
+  };
+
+  // Barrier scaling: dissemination vs linear (centralized fan-in/fan-out).
+  for (int n : {2, 4, 8, 16}) {
+    add(Kind::kBarrier, coll::CollAlgo::kDissemination, "1L-1G", n, 0,
+        bar_iters);
+    add(Kind::kBarrier, coll::CollAlgo::kLinear, "1L-1G", n, 0, bar_iters);
+  }
+  for (const char* topo : {"2L-1G", "1L-10G"}) {
+    add(Kind::kBarrier, coll::CollAlgo::kDissemination, topo, 16, 0,
+        bar_iters);
+    add(Kind::kBarrier, coll::CollAlgo::kLinear, topo, 16, 0, bar_iters);
+  }
+
+  // All-reduce: algorithm comparison on one rail, then rail scaling for the
+  // ring (the 2L-1G row must show both rails saturated).
+  const std::size_t big = 1 << 20;
+  std::vector<std::size_t> sizes = {16 << 10, 256 << 10, big};
+  if (quick) sizes = {16 << 10, big};
+  for (std::size_t b : sizes) {
+    for (auto a : {coll::CollAlgo::kRing, coll::CollAlgo::kBinomialTree,
+                   coll::CollAlgo::kLinear}) {
+      add(Kind::kAllReduce, a, "1L-1G", 4, b, ar_iters);
+    }
+    add(Kind::kAllReduce, coll::CollAlgo::kRing, "2L-1G", 4, b, ar_iters);
+  }
+  add(Kind::kAllReduce, coll::CollAlgo::kRing, "1L-10G", 4, big, ar_iters);
+  if (!quick) {
+    add(Kind::kAllReduce, coll::CollAlgo::kRing, "1L-1G", 8, 256 << 10,
+        ar_iters);
+    add(Kind::kAllReduce, coll::CollAlgo::kRing, "2L-1G", 8, 256 << 10,
+        ar_iters);
+  }
+
+  // All-to-all: pairwise-staggered vs linear.
+  const std::size_t blk = 64 << 10;
+  for (const char* topo : {"1L-1G", "2L-1G"}) {
+    add(Kind::kAllToAll, coll::CollAlgo::kPairwise, topo, 8, blk,
+        quick ? 2 : 4);
+    add(Kind::kAllToAll, coll::CollAlgo::kLinear, topo, 8, blk, quick ? 2 : 4);
+  }
+  return ws;
+}
+
+struct Result {
+  double per_op_us = 0;   // simulated time per collective
+  double gbps = 0;        // payload bytes per simulated second (all_reduce/a2a)
+  std::uint64_t frames = 0;
+  std::uint64_t counters_fnv = 0;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result run_workload(const Workload& w) {
+  ClusterConfig ccfg = topo_config(w.topo, w.nodes);
+  Cluster cluster(ccfg);
+
+  coll::CollConfig cc;
+  cc.max_data_bytes = std::max<std::size_t>(w.bytes, 64 << 10);
+  switch (w.kind) {
+    case Kind::kBarrier: cc.barrier_algo = w.algo; break;
+    case Kind::kAllReduce: cc.all_reduce_algo = w.algo; break;
+    case Kind::kAllToAll: cc.all_to_all_algo = w.algo; break;
+  }
+  coll::CollDomain domain(cluster, cc);
+
+  sim::Time t0 = 0, t1 = 0;
+  for (int i = 0; i < w.nodes; ++i) {
+    cluster.spawn(i, "coll", [&, i](Endpoint& ep) {
+      coll::Communicator comm(domain, ep);
+      std::uint64_t send_va = 0, recv_va = 0;
+      if (w.kind == Kind::kAllReduce) {
+        send_va = ep.memory().alloc(w.bytes, 64);
+        auto* v = ep.memory().as<double>(send_va);
+        for (std::size_t e = 0; e < w.bytes / 8; ++e) {
+          v[e] = static_cast<double>(i + 1) * static_cast<double>(e % 97);
+        }
+      } else if (w.kind == Kind::kAllToAll) {
+        send_va = ep.memory().alloc(w.bytes * w.nodes, 64);
+        recv_va = ep.memory().alloc(w.bytes * w.nodes, 64);
+        auto span = ep.memory().view_mut(send_va, w.bytes * w.nodes);
+        for (std::size_t e = 0; e < span.size(); ++e) {
+          span[e] = static_cast<std::byte>((i + e * 7) & 0xff);
+        }
+      }
+      comm.barrier();  // rendezvous; excluded from the measured section
+      if (i == 0) t0 = cluster.sim().now();
+      for (int it = 0; it < w.iters; ++it) {
+        switch (w.kind) {
+          case Kind::kBarrier:
+            comm.barrier();
+            break;
+          case Kind::kAllReduce:
+            comm.all_reduce(send_va, static_cast<std::uint32_t>(w.bytes / 8),
+                            coll::DType::kF64, coll::ReduceOp::kSum);
+            break;
+          case Kind::kAllToAll:
+            comm.all_to_all(send_va, recv_va,
+                            static_cast<std::uint32_t>(w.bytes));
+            break;
+        }
+      }
+      if (w.kind != Kind::kBarrier) comm.barrier();
+      if (i == 0) t1 = cluster.sim().now();
+    });
+  }
+  cluster.run();
+
+  stats::Counters all;
+  for (int i = 0; i < w.nodes; ++i) {
+    all.merge(cluster.engine(i).aggregate_counters());
+  }
+
+  Result r;
+  const double span_us = sim::to_us(t1 - t0);
+  r.per_op_us = span_us / w.iters;
+  if (w.kind == Kind::kAllReduce && span_us > 0) {
+    r.gbps = static_cast<double>(w.bytes) * w.iters * 8.0 / (span_us * 1e3);
+  } else if (w.kind == Kind::kAllToAll && span_us > 0) {
+    r.gbps = static_cast<double>(w.bytes) * (w.nodes - 1) * w.iters * 8.0 /
+             (span_us * 1e3);
+  }
+  r.frames = all.get("data_frames_sent") + all.get("ack_frames_sent");
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, value] : all.all()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, "=");
+    h = fnv1a(h, std::to_string(value));
+    h = fnv1a(h, "\n");
+  }
+  r.counters_fnv = h;
+  return r;
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+const Result* find(const std::vector<std::pair<Workload, Result>>& rs,
+                   const std::string& name) {
+  for (const auto& [w, r] : rs) {
+    if (w.name == name) return &r;
+  }
+  return nullptr;
+}
+
+// The two headline properties, asserted on the fresh run (not the baseline):
+// log-depth barrier wins at 16 nodes on every topology, and the ring
+// all-reduce gets >= 1.7x throughput from the second rail.
+bool check_headlines(const std::vector<std::pair<Workload, Result>>& rs,
+                     std::size_t big) {
+  bool ok = true;
+  for (const char* topo : {"1L-1G", "2L-1G", "1L-10G"}) {
+    const Result* dis = find(
+        rs, wl_name(Kind::kBarrier, coll::CollAlgo::kDissemination, topo, 16, 0));
+    const Result* lin = find(
+        rs, wl_name(Kind::kBarrier, coll::CollAlgo::kLinear, topo, 16, 0));
+    if (!dis || !lin) continue;
+    if (dis->per_op_us >= lin->per_op_us) {
+      std::cerr << "CHECK FAIL: dissemination barrier (" << dis->per_op_us
+                << " us) not faster than linear (" << lin->per_op_us
+                << " us) at 16 nodes on " << topo << '\n';
+      ok = false;
+    }
+  }
+  const Result* one = find(
+      rs, wl_name(Kind::kAllReduce, coll::CollAlgo::kRing, "1L-1G", 4, big));
+  const Result* two = find(
+      rs, wl_name(Kind::kAllReduce, coll::CollAlgo::kRing, "2L-1G", 4, big));
+  if (one && two) {
+    const double ratio = one->gbps > 0 ? two->gbps / one->gbps : 0;
+    if (ratio < 1.7) {
+      std::cerr << "CHECK FAIL: ring all-reduce 2L-1G/1L-1G throughput ratio "
+                << ratio << " < 1.7 — second rail not saturated\n";
+      ok = false;
+    } else {
+      std::cout << "rail scaling OK: ring all-reduce " << two->gbps
+                << " Gb/s on 2L-1G vs " << one->gbps << " Gb/s on 1L-1G ("
+                << ratio << "x)\n";
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_coll.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--check=", 8) == 0) check_path = argv[i] + 8;
+  }
+
+  std::cout << "== coll_bench: collective latency/throughput (simulated) ==\n"
+            << "per-op = simulated time per collective; Gb/s = per-node "
+               "payload rate (all_reduce) / exchanged rate (all_to_all)\n\n";
+
+  stats::Table t(
+      {"workload", "iters", "per-op(us)", "Gb/s", "frames", "counters"});
+  std::vector<std::pair<Workload, Result>> results;
+  for (const Workload& w : workloads(quick)) {
+    Result r = run_workload(w);
+    results.emplace_back(w, r);
+    t.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.iters))
+        .cell(r.per_op_us, 2)
+        .cell(r.gbps, 2)
+        .cell(r.frames)
+        .cell(hex(r.counters_fnv));
+  }
+  t.print(std::cout);
+
+  const std::size_t big = 1 << 20;
+  const bool headlines_ok = check_headlines(results, big);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"coll\",\n  \"quick\": "
+        << (quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [w, r] = results[i];
+      out << "    {\"name\": \"" << w.name << "\", \"iters\": " << w.iters
+          << ", \"per_op_us\": " << stats::json::number(r.per_op_us)
+          << ", \"gbps\": " << stats::json::number(r.gbps)
+          << ", \"frames\": " << r.frames << ", \"counters_fnv1a\": \""
+          << hex(r.counters_fnv) << "\"}"
+          << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_path << '\n';
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::cerr << "ERROR: cannot open baseline " << check_path << '\n';
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    stats::json::Value doc;
+    std::string err;
+    if (!stats::json::parse(ss.str(), doc, &err)) {
+      std::cerr << "ERROR: bad baseline JSON: " << err << '\n';
+      return 1;
+    }
+    bool ok = headlines_ok;
+    const stats::json::Value* wl = doc.find("workloads");
+    if (wl && wl->is_array()) {
+      for (const auto& e : wl->array) {
+        const stats::json::Value* name = e.find("name");
+        const stats::json::Value* fnv = e.find("counters_fnv1a");
+        if (!name || !fnv) continue;
+        const Result* r = find(results, name->string);
+        if (r && hex(r->counters_fnv) != fnv->string) {
+          std::cerr << "CHECK FAIL: workload " << name->string
+                    << " counters fingerprint drifted (baseline "
+                    << fnv->string << ", now " << hex(r->counters_fnv)
+                    << ") — collective behavior changed\n";
+          ok = false;
+        }
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "check OK: headline properties hold, fingerprints match\n";
+  }
+  return headlines_ok ? 0 : 1;
+}

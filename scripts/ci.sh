@@ -51,6 +51,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== ctest -L $LABEL"
 ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$(nproc)"
 
+# The collective layer rides along with every tier-1 run (differential
+# algorithm checks + fault-tolerance; see tests/coll_test.cpp).
+if [ "$LABEL" = "tier1" ]; then
+  echo "== ctest -L coll"
+  ctest --test-dir "$BUILD_DIR" -L coll --output-on-failure -j "$(nproc)"
+fi
+
 # A green test tier is necessary but not sufficient for the hot path: a
 # Release bench smoke catches throughput regressions and — via the exact
 # per-workload counter fingerprints in BENCH_simspeed.json — any behavioral
@@ -64,8 +71,12 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   fi
   echo "== bench smoke ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed
+  cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench
   "$BENCH_DIR"/bench/simspeed --check=BENCH_simspeed.json
+  # Collective layer: headline properties (log-depth barrier wins at 16
+  # nodes, ring all-reduce saturates both 2L rails) plus exact per-workload
+  # counter fingerprints against the committed BENCH_coll.json.
+  "$BENCH_DIR"/bench/coll_bench --check=BENCH_coll.json
 fi
 
 echo "== OK"

@@ -1,5 +1,6 @@
 #include "core/api.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <ostream>
 #include <stdexcept>
@@ -62,6 +63,35 @@ OpHandle Connection::rdma_scatter_write(std::uint64_t remote_base_va,
       conn_->submit_scatter_write(remote_base_va, encoded, flags, ep.app_cpu()));
 }
 
+OpHandle Connection::rdma_gather_read(std::span<const GatherSegment> segments,
+                                      std::uint64_t remote_base_va,
+                                      std::uint16_t flags) {
+  assert(conn_ != nullptr && !segments.empty());
+  Endpoint& ep = *ep_;
+  const proto::HostCostModel& costs = ep.engine().costs();
+
+  // Segment destinations are encoded relative to the lowest local VA, which
+  // becomes the operation's local base for the one response message.
+  std::uint64_t local_base = segments.front().local_va;
+  for (const GatherSegment& s : segments) {
+    local_base = std::min(local_base, s.local_va);
+  }
+  std::vector<proto::GatherChunk> chunks;
+  chunks.reserve(segments.size());
+  std::uint32_t total = 0;
+  for (const GatherSegment& s : segments) {
+    chunks.push_back(proto::GatherChunk{
+        static_cast<std::uint32_t>(s.remote_offset),
+        static_cast<std::uint32_t>(s.local_va - local_base), s.length});
+    total += s.length;
+  }
+  // Like plain reads, only the request descriptor leaves the node.
+  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost);
+  const std::vector<std::byte> encoded = proto::encode_gather_request(chunks);
+  return OpHandle(conn_->submit_gather_read(local_base, remote_base_va, encoded,
+                                            total, flags, ep.app_cpu()));
+}
+
 // ---------------------------------------------------------------------------
 // Endpoint
 // ---------------------------------------------------------------------------
@@ -118,17 +148,17 @@ bool Endpoint::is_registered(std::uint64_t va, std::size_t len) const {
   return va + len <= it->second;
 }
 
-Notification Endpoint::wait_notification() {
-  while (!engine_.has_notification()) {
+Notification Endpoint::wait_notification(int tag) {
+  while (!engine_.has_notification(tag)) {
     engine_.notify_events().wait();
   }
   charge_protocol(engine_.costs().syscall_cost);
-  return engine_.pop_notification();
+  return engine_.pop_notification(tag);
 }
 
-bool Endpoint::poll_notification(Notification* out) {
-  if (!engine_.has_notification()) return false;
-  *out = engine_.pop_notification();
+bool Endpoint::poll_notification(Notification* out, int tag) {
+  if (!engine_.has_notification(tag)) return false;
+  *out = engine_.pop_notification(tag);
   return true;
 }
 

@@ -46,7 +46,10 @@ using proto::kOpFlagForwardFence;
 using proto::kOpFlagNone;
 using proto::kOpFlagNotify;
 using proto::kOpFlagSolicit;
+using proto::kOpFlagUrgent;
 using proto::Notification;
+using proto::op_flags_tag;
+using proto::op_tag_flags;
 
 class Cluster;
 class Endpoint;
@@ -98,6 +101,14 @@ struct ScatterSegment {
   std::uint32_t length = 0;
 };
 
+/// One segment of a gather read: `length` bytes read from (remote base +
+/// remote_offset), delivered into local `local_va`.
+struct GatherSegment {
+  std::uint64_t remote_offset = 0;
+  std::uint64_t local_va = 0;
+  std::uint32_t length = 0;
+};
+
 /// User-level handle of an established point-to-point connection.
 class Connection {
  public:
@@ -127,6 +138,14 @@ class Connection {
   OpHandle rdma_scatter_write(std::uint64_t remote_base_va,
                               std::span<const ScatterSegment> segments,
                               std::uint16_t flags = 0);
+
+  /// Gather read, the read-side mirror of rdma_scatter_write: fetch all
+  /// `segments` relative to `remote_base_va` as ONE operation — one wire
+  /// request, one response message, one completion. Used by collective
+  /// reduce trees to collect a child's contribution in a single round trip.
+  OpHandle rdma_gather_read(std::span<const GatherSegment> segments,
+                            std::uint64_t remote_base_va,
+                            std::uint16_t flags = 0);
 
   int peer() const { return conn_->peer_node(); }
   std::size_t num_links() const { return conn_->num_links(); }
@@ -167,8 +186,12 @@ class Endpoint {
   bool is_registered(std::uint64_t va, std::size_t len) const;
 
   // --- notifications (fiber-blocking / polling) ---
-  Notification wait_notification();
-  bool poll_notification(Notification* out);
+  /// With `tag < 0` (default) the next notification of any tag is returned,
+  /// strictly in arrival (FIFO) order across tags; with `tag >= 0` only
+  /// notifications carrying that tag are consumed (per-tag FIFO), leaving
+  /// other tags' notifications queued for their consumers.
+  Notification wait_notification(int tag = -1);
+  bool poll_notification(Notification* out, int tag = -1);
 
   // --- application-side time accounting ---
   /// Charge application compute time to this node's application CPU.

@@ -122,6 +122,12 @@ struct Frame {
   /// Set by the link error model: frame arrives but fails the FCS check.
   bool fcs_bad = false;
 
+  /// Priority bit (802.1p-style): the receiving NIC treats this frame as a
+  /// solicited event and fires its rx interrupt immediately instead of
+  /// holding it back for moderation. Set by the protocol layer for frames
+  /// of kOpFlagUrgent operations.
+  bool urgent = false;
+
   /// Bytes that occupy the wire (for serialization-time computation).
   std::size_t wire_bytes() const {
     const std::size_t pay = payload.size() < kMinPayload ? kMinPayload : payload.size();

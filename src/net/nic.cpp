@@ -79,9 +79,10 @@ void Nic::deliver(FramePtr frame) {
       tracer_->record(sim_.now(), trace::EventType::kNicRx, trace_node_,
                       trace_rail_, -1, f->payload.size(), f->wire_bytes());
     }
+    const bool urgent = f->urgent;
     rx_ring_.push_back(std::move(f));
     ++stats_.rx_frames;
-    note_irq_event(/*maskable=*/true);
+    note_irq_event(/*maskable=*/true, urgent);
   });
 }
 
@@ -93,11 +94,13 @@ void Nic::set_irq_enabled(bool enabled) {
   if (enabled && !was && events_pending()) note_irq_event(true);
 }
 
-void Nic::note_irq_event(bool maskable) {
+void Nic::note_irq_event(bool maskable, bool urgent) {
   if (!maskable) unmaskable_waiting_ = true;
   if (!irq_enabled_ && !unmaskable_waiting_) return;
   ++coalesce_count_;
-  if (cfg_.irq_coalesce_frames <= 1 || cfg_.irq_coalesce_delay == 0 ||
+  // Solicited events (urgent frames) bypass moderation: a lone barrier
+  // signal must not idle for the coalescing delay.
+  if (urgent || cfg_.irq_coalesce_frames <= 1 || cfg_.irq_coalesce_delay == 0 ||
       coalesce_count_ >= cfg_.irq_coalesce_frames) {
     fire_irq();
   } else {

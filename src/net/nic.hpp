@@ -104,8 +104,9 @@ class Nic : public FrameSink {
  private:
   void start_next_tx();
   void on_tx_serialized();
-  /// An interrupt-worthy event occurred; subject to moderation.
-  void note_irq_event(bool maskable);
+  /// An interrupt-worthy event occurred; subject to moderation unless
+  /// `urgent` (solicited event — fires immediately).
+  void note_irq_event(bool maskable, bool urgent = false);
   void on_coalesce_timeout();
   void fire_irq();
 

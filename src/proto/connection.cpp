@@ -88,6 +88,7 @@ void Connection::fragment_op(FrameKind kind, OpType op_type, SendOp& op,
     h.seq = next_seq_++;
     h.frag_offset = static_cast<std::uint32_t>(off);
     auto frame = net::frame_pool().acquire();
+    frame->urgent = (op.flags & kOpFlagUrgent) != 0;
     encode_frame_payload_into(frame->payload, h, {}, data.subspan(off, n));
     pending_.push_back(OutFrame{std::move(frame), h.seq});
     off += n;
@@ -178,6 +179,39 @@ SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_v
   return op;
 }
 
+SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
+                                         std::uint64_t remote_base_va,
+                                         std::span<const std::byte> encoded,
+                                         std::uint32_t total_bytes,
+                                         std::uint16_t flags, sim::Cpu& cpu) {
+  assert(!encoded.empty() && total_bytes > 0);
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kRead;
+  op->flags = flags;
+  op->size = total_bytes;
+
+  const std::uint64_t dep = ffence_latest_;
+  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
+
+  // A gather read is a read request whose payload is the segment descriptor:
+  // remote_va is the source base at the target, aux_va the destination base
+  // at the initiator, and op_size the descriptor length (the receiver sizes
+  // its reassembly buffer from it).
+  fragment_op(FrameKind::kReadReq, OpType::kGatherRead, *op, dep,
+              remote_base_va, local_base_va, encoded,
+              static_cast<std::uint32_t>(encoded.size()));
+  op->submitted_at = engine_.sim().now();
+  pending_reads_.insert_or_assign(op->op_id, op);
+  counters_.add("gather_reads_submitted");
+  if (auto* t = engine_.tracer()) {
+    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
+              -1, static_cast<int>(local_id_), op->op_id, op->size);
+  }
+  try_transmit(cpu);
+  return op;
+}
+
 void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
                                       std::uint32_t size, std::uint64_t req_op_id,
                                       sim::Cpu& cpu) {
@@ -196,6 +230,40 @@ void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va
   counters_.add("bytes_submitted", size);
   // Serving the read costs a kernel-side copy of the data into frames.
   cpu.charge(engine_.costs().copy_cost_kernel(size));
+  try_transmit(cpu);
+}
+
+void Connection::submit_gather_response(std::uint64_t dst_base_va,
+                                        std::uint64_t src_base_va,
+                                        std::span<const GatherChunk> chunks,
+                                        std::uint64_t req_op_id, sim::Cpu& cpu) {
+  std::vector<ScatterChunk> segs;
+  std::vector<std::span<const std::byte>> data;
+  segs.reserve(chunks.size());
+  data.reserve(chunks.size());
+  std::uint32_t total = 0;
+  for (const GatherChunk& c : chunks) {
+    segs.push_back(ScatterChunk{c.local_offset, c.length});
+    data.push_back(engine_.memory().view(src_base_va + c.remote_offset,
+                                         c.length));
+    total += c.length;
+  }
+  const std::vector<std::byte> encoded = encode_scatter_payload(
+      segs, std::span<const std::span<const std::byte>>(data));
+
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = OpKind::kWrite;
+  op->flags = 0;
+  op->size = static_cast<std::uint32_t>(encoded.size());
+  // Like read responses, gather responses carry no fences of their own.
+  fragment_op(FrameKind::kData, OpType::kGatherResp, *op, kNoFenceDep,
+              dst_base_va, req_op_id, encoded, op->size);
+  op->submitted_at = engine_.sim().now();
+  write_ops_.push_back(op);
+  counters_.add("gather_responses");
+  counters_.add("bytes_submitted", encoded.size());
+  cpu.charge(engine_.costs().copy_cost_kernel(total));
   try_transmit(cpu);
 }
 
@@ -628,11 +696,24 @@ Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr) {
     op.read_src_va = hdr.remote_va;
     op.read_dst_va = hdr.aux_va;
     op.read_req_op = hdr.op_id;
+    if (hdr.op_type == OpType::kGatherRead) {
+      // The request carries a segment descriptor to reassemble before the
+      // read can be served (op_size is the descriptor length).
+      op.is_gather_req = true;
+      op.assembly.resize(hdr.op_size);
+    }
   } else {
     op.write_va = hdr.remote_va;
     if (hdr.op_type == OpType::kReadResp) {
       op.is_read_resp = true;
       op.read_req_op = hdr.aux_va;  // initiator op id echoed by the target
+    } else if (hdr.op_type == OpType::kGatherResp) {
+      // A gather response is a scatter payload that, once applied relative
+      // to our local base, completes the pending gather read.
+      op.is_read_resp = true;
+      op.is_scatter = true;
+      op.read_req_op = hdr.aux_va;
+      op.assembly.resize(hdr.op_size);
     } else if (hdr.op_type == OpType::kScatterWrite) {
       op.is_scatter = true;
       op.assembly.resize(hdr.op_size);
@@ -676,8 +757,15 @@ void Connection::apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu)
                         frag.hdr.frag_offset,
                         static_cast<std::uint32_t>(frag.data.size()));
   }
-  if (op.is_read_req) return;  // served in maybe_complete
+  if (op.is_read_req && !op.is_gather_req) return;  // served in maybe_complete
   (void)cpu;
+  if (op.is_gather_req) {
+    // Reassemble the request descriptor; the read is served at completion.
+    std::copy(frag.data.begin(), frag.data.end(),
+              op.assembly.begin() + frag.hdr.frag_offset);
+    op.applied += static_cast<std::uint32_t>(frag.data.size());
+    return;
+  }
   if (op.is_scatter) {
     // Reassemble the scatter payload; segments apply at completion.
     std::copy(frag.data.begin(), frag.data.end(),
@@ -689,7 +777,10 @@ void Connection::apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu)
 }
 
 void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
-  const bool done = op.is_read_req || (op.size > 0 && op.applied >= op.size);
+  // Plain read requests complete on their single (payload-free) frame; a
+  // gather request completes only once its descriptor is fully reassembled.
+  const bool done = (op.is_read_req && !op.is_gather_req) ||
+                    (op.size > 0 && op.applied >= op.size);
   if (!done) return;
 
   const std::uint64_t op_id = op.op_id;
@@ -711,9 +802,22 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
     }
   }
   if (op.is_read_req) {
-    // "Performing" a remote read: generate the response data stream.
-    submit_read_response(op.read_dst_va, op.read_src_va, op.size,
-                         op.read_req_op, cpu);
+    if (op.is_gather_req) {
+      // "Performing" a gather read: serve every described segment in one
+      // response message.
+      std::vector<GatherChunk> chunks;
+      if (decode_gather_request(op.assembly, chunks)) {
+        submit_gather_response(op.read_dst_va, op.read_src_va, chunks,
+                               op.read_req_op, cpu);
+        counters_.add("gather_reads_served");
+      } else {
+        counters_.add("gather_decode_failed");
+      }
+    } else {
+      // "Performing" a remote read: generate the response data stream.
+      submit_read_response(op.read_dst_va, op.read_src_va, op.size,
+                           op.read_req_op, cpu);
+    }
   } else if (op.is_read_resp) {
     // Response fully applied at the initiator: finish the pending read.
     if (SendOpPtr* slot = pending_reads_.find(op.read_req_op)) {
@@ -732,7 +836,9 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
     }
   } else if (op.flags & kOpFlagNotify) {
     engine_.deliver_notification(
-        Notification{peer_node_, op_id, op.write_va, op.size}, cpu);
+        Notification{peer_node_, op_id, op.write_va, op.size,
+                     op_flags_tag(op.flags)},
+        cpu);
   }
 
   // Advance the completion frontier.

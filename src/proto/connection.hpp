@@ -89,6 +89,16 @@ class Connection {
   SendOpPtr submit_read(std::uint64_t local_va, std::uint64_t remote_va,
                         std::uint32_t size, std::uint16_t flags, sim::Cpu& cpu);
 
+  /// Queue a gather read: `encoded` is a gather request descriptor (see
+  /// encode_gather_request) whose segments the target serves relative to
+  /// `remote_base_va` in one kGatherResp message, applied here relative to
+  /// `local_base_va`. `total_bytes` is the sum of segment lengths.
+  SendOpPtr submit_gather_read(std::uint64_t local_base_va,
+                               std::uint64_t remote_base_va,
+                               std::span<const std::byte> encoded,
+                               std::uint32_t total_bytes, std::uint16_t flags,
+                               sim::Cpu& cpu);
+
   /// Transmit queued frames while the window and NIC rings allow.
   void try_transmit(sim::Cpu& cpu);
 
@@ -168,7 +178,8 @@ class Connection {
     bool is_read_req = false;     // a remote-read request to serve
     bool is_read_resp = false;    // response data for one of our reads
     bool is_scatter = false;      // scatter write: assemble, apply at end
-    std::vector<std::byte> assembly;  // scatter payload being reassembled
+    bool is_gather_req = false;   // read request carrying a segment list
+    std::vector<std::byte> assembly;  // scatter/gather payload reassembly
     std::uint64_t write_va = 0;      // destination base VA (write/response)
     std::uint64_t read_src_va = 0;   // target-side source of a read
     std::uint64_t read_dst_va = 0;   // initiator-side destination
@@ -197,6 +208,10 @@ class Connection {
   void submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
                             std::uint32_t size, std::uint64_t req_op_id,
                             sim::Cpu& cpu);
+  void submit_gather_response(std::uint64_t dst_base_va,
+                              std::uint64_t src_base_va,
+                              std::span<const GatherChunk> chunks,
+                              std::uint64_t req_op_id, sim::Cpu& cpu);
   std::size_t pick_link();
   bool transmit_on_some_link(const net::MutFramePtr& frame, std::uint64_t seq,
                              sim::Cpu& cpu);

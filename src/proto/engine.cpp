@@ -325,11 +325,30 @@ void Engine::deliver_notification(Notification n, sim::Cpu& cpu) {
   notify_events_.notify_all();
 }
 
-Notification Engine::pop_notification() {
-  assert(!notifications_.empty());
-  Notification n = notifications_.front();
-  notifications_.pop_front();
-  return n;
+bool Engine::has_notification(int tag) const {
+  if (tag < 0) return !notifications_.empty();
+  for (const Notification& n : notifications_) {
+    if (static_cast<int>(n.tag) == tag) return true;
+  }
+  return false;
+}
+
+Notification Engine::pop_notification(int tag) {
+  assert(has_notification(tag));
+  if (tag < 0) {
+    Notification n = notifications_.front();
+    notifications_.pop_front();
+    return n;
+  }
+  for (auto it = notifications_.begin(); it != notifications_.end(); ++it) {
+    if (static_cast<int>(it->tag) == tag) {
+      Notification n = *it;
+      notifications_.erase(it);
+      return n;
+    }
+  }
+  assert(false && "pop_notification: no notification with requested tag");
+  return Notification{};
 }
 
 stats::Counters Engine::aggregate_counters() const {

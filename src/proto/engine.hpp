@@ -59,8 +59,12 @@ class Engine {
   sim::WaitQueue& conn_events() { return conn_events_; }
 
   // --- notifications (remote-write completion events, §2.2) ---
-  bool has_notification() const { return !notifications_.empty(); }
-  Notification pop_notification();
+  /// With `tag < 0` (default) any queued notification matches; otherwise only
+  /// notifications carrying that demultiplexing tag. The queue is one FIFO:
+  /// untagged consumers drain strictly in arrival order across all tags, and
+  /// tagged consumers see per-tag arrival order.
+  bool has_notification(int tag = -1) const;
+  Notification pop_notification(int tag = -1);
   sim::WaitQueue& notify_events() { return notify_events_; }
 
   // --- infrastructure used by Connection ---

@@ -18,6 +18,8 @@ struct Notification {
   std::uint64_t op_id = 0;
   std::uint64_t va = 0;
   std::uint32_t size = 0;
+  /// Demultiplexing tag carried in op_flags bits 8..15 (0 = default channel).
+  std::uint8_t tag = 0;
 };
 
 enum class OpKind : std::uint8_t { kWrite, kRead };

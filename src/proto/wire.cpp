@@ -158,6 +158,42 @@ bool decode_scatter_payload(
   return true;
 }
 
+std::vector<std::byte> encode_gather_request(
+    std::span<const GatherChunk> chunks) {
+  const std::size_t total = 4 + chunks.size() * 12;
+  std::vector<std::byte> out;
+  out.reserve(total);  // exact reservation: one allocation, never regrown
+  out.resize(total);
+  std::size_t off = 0;
+  put(out.data(), off, static_cast<std::uint32_t>(chunks.size()));
+  for (const GatherChunk& c : chunks) {
+    put(out.data(), off, c.remote_offset);
+    put(out.data(), off, c.local_offset);
+    put(out.data(), off, c.length);
+  }
+  assert(off == total);
+  return out;
+}
+
+bool decode_gather_request(std::span<const std::byte> payload,
+                           std::vector<GatherChunk>& out) {
+  out.clear();
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!take(payload, off, count)) return false;
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * 12) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GatherChunk c;
+    if (!take(payload, off, c.remote_offset) ||
+        !take(payload, off, c.local_offset) || !take(payload, off, c.length)) {
+      return false;
+    }
+    out.push_back(c);
+  }
+  return true;
+}
+
 void patch_ack(std::span<std::byte> payload, std::uint64_t ack) {
   std::memcpy(payload.data() + kAckFieldOffset, &ack, sizeof ack);
 }

@@ -35,6 +35,14 @@ enum class OpType : std::uint8_t {
   /// operation completes. One operation ships an arbitrarily fragmented
   /// update (e.g. a DSM page diff) in a single wire message.
   kScatterWrite = 3,
+  /// A gather read request (the read-side mirror of kScatterWrite): a kReadReq
+  /// frame whose payload is an encoded segment list. The target serves every
+  /// segment in one kGatherResp message, so the initiator sees one wire
+  /// operation and one completion regardless of how fragmented the region is.
+  kGatherRead = 4,
+  /// Response to kGatherRead: a scatter payload applied relative to the
+  /// initiator's local base (carried in the request's aux_va).
+  kGatherResp = 5,
 };
 
 /// One segment of a scatter-write payload (offsets relative to remote_va).
@@ -55,6 +63,22 @@ bool decode_scatter_payload(
     std::span<const std::byte> payload,
     std::vector<std::pair<std::uint32_t, std::span<const std::byte>>>& out);
 
+/// One segment of a gather-read request: `length` bytes read from (remote
+/// base + remote_offset), delivered at (initiator base + local_offset).
+struct GatherChunk {
+  std::uint32_t remote_offset = 0;
+  std::uint32_t local_offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Encode a gather request descriptor: [u32 count] then per segment
+/// [u32 remote_offset][u32 local_offset][u32 length].
+std::vector<std::byte> encode_gather_request(std::span<const GatherChunk> chunks);
+
+/// Decode a gather request descriptor; returns false if malformed.
+bool decode_gather_request(std::span<const std::byte> payload,
+                           std::vector<GatherChunk>& out);
+
 /// Operation flag bits (the `flags` bit-field of RDMA_operation, §2.2/§2.5).
 enum OpFlags : std::uint16_t {
   kOpFlagNone = 0,
@@ -68,7 +92,29 @@ enum OpFlags : std::uint16_t {
   /// shortens its delayed-ack timer once the operation completes (solicited
   /// ack) instead of waiting out the full delay.
   kOpFlagSolicit = 1u << 3,
+  /// Latency-critical operation (solicited-event semantics): its frames
+  /// carry a priority bit that exempts them from the receiving NIC's
+  /// interrupt moderation, so a lone small frame is handed to the protocol
+  /// thread immediately instead of after the coalescing delay. Meant for
+  /// synchronization messages (collective signals); bulk traffic should not
+  /// set it, or moderation stops moderating.
+  kOpFlagUrgent = 1u << 4,
 };
+
+/// Bits 8..15 of op_flags carry an 8-bit notification tag, so independent
+/// subsystems (DSM mailboxes, collectives) can demultiplex their completion
+/// notifications without stealing each other's events. Tag 0 is the default
+/// channel; the low flag byte is unaffected.
+inline constexpr std::uint16_t kOpFlagTagShift = 8;
+
+constexpr std::uint16_t op_tag_flags(std::uint8_t tag) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(tag)
+                                    << kOpFlagTagShift);
+}
+
+constexpr std::uint8_t op_flags_tag(std::uint16_t flags) {
+  return static_cast<std::uint8_t>(flags >> kOpFlagTagShift);
+}
 
 /// Sentinel for "no forward-fence dependency".
 inline constexpr std::uint64_t kNoFenceDep = ~std::uint64_t{0};

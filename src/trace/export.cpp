@@ -16,6 +16,7 @@ namespace {
 constexpr int kTidProtoThread = 0;
 constexpr int kTidRailBase = 1;
 constexpr int kTidDsm = 500;
+constexpr int kTidColl = 501;
 constexpr int kTidConnBase = 1000;
 
 // Simulated picoseconds -> trace microseconds, printed with fixed precision
@@ -42,6 +43,9 @@ int event_tid(const Event& e) {
     case EventType::kDsmPageFetch:
     case EventType::kDsmDiffFlush:
       return kTidDsm;
+    case EventType::kCollOp:
+    case EventType::kCollRound:
+      return kTidColl;
     case EventType::kAckTx:
     case EventType::kAckRx:
     case EventType::kWindowStall:
@@ -57,12 +61,13 @@ int event_tid(const Event& e) {
 
 bool is_span(EventType t) {
   return t == EventType::kOpComplete || t == EventType::kDsmPageFetch ||
-         t == EventType::kDsmDiffFlush;
+         t == EventType::kDsmDiffFlush || t == EventType::kCollOp;
 }
 
 std::string thread_label(int tid) {
   if (tid == kTidProtoThread) return "proto-thread";
   if (tid == kTidDsm) return "dsm";
+  if (tid == kTidColl) return "coll";
   if (tid >= kTidConnBase) return "conn" + std::to_string(tid - kTidConnBase);
   return "rail" + std::to_string(tid - kTidRailBase);
 }

@@ -23,6 +23,8 @@ std::string_view event_name(EventType t) {
     case EventType::kOpComplete: return "op_complete";
     case EventType::kDsmPageFetch: return "dsm_page_fetch";
     case EventType::kDsmDiffFlush: return "dsm_diff_flush";
+    case EventType::kCollOp: return "coll_op";
+    case EventType::kCollRound: return "coll_round";
   }
   return "unknown";
 }
@@ -53,6 +55,9 @@ std::string_view event_category(EventType t) {
     case EventType::kDsmPageFetch:
     case EventType::kDsmDiffFlush:
       return "dsm";
+    case EventType::kCollOp:
+    case EventType::kCollRound:
+      return "coll";
   }
   return "unknown";
 }

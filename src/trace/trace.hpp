@@ -48,6 +48,9 @@ enum class EventType : std::uint8_t {
   // DSM.
   kDsmPageFetch, // remote page fetch (duration event); a=page, b=bytes
   kDsmDiffFlush, // dirty-diff writeback (duration event); a=pages, b=bytes
+  // Collectives (src/coll).
+  kCollOp,       // one collective op (duration event); a=(kind<<8)|algo, b=bytes
+  kCollRound,    // one round/step within a collective; a=round, b=bytes
 };
 
 /// Stable short name for an event type ("nic_tx", "op_complete", ...).

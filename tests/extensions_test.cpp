@@ -157,6 +157,36 @@ TEST(SolicitedAck, CompletionFasterThanDelayedAckTimer) {
   EXPECT_GT(wait_time, 0);
 }
 
+TEST(UrgentFlag, LoneFrameBypassesInterruptModeration) {
+  // A lone small notified write normally idles for the NIC's interrupt
+  // coalescing delay before the receiver sees it; kOpFlagUrgent marks its
+  // frame as a solicited event that fires the rx interrupt immediately.
+  auto one_way = [](std::uint16_t flags) {
+    ClusterConfig cfg = config_1l_1g(2);
+    Cluster cluster(cfg);
+    const std::uint64_t src = cluster.memory(0).alloc(64);
+    const std::uint64_t dst = cluster.memory(1).alloc(64);
+    sim::Time delivered = 0;
+    cluster.spawn(0, "w", [&](Endpoint& ep) {
+      Connection c = ep.connect(1);
+      c.rdma_write(dst, src, 8, flags);
+    });
+    cluster.spawn(1, "r", [&](Endpoint& ep) {
+      const sim::Time t0 = ep.cluster().sim().now();
+      ep.wait_notification();
+      delivered = ep.cluster().sim().now() - t0;
+    });
+    cluster.run();
+    return delivered;
+  };
+  const sim::Time coalesce = net::NicConfig{}.irq_coalesce_delay;
+  const sim::Time plain = one_way(kOpFlagNotify);
+  const sim::Time urgent =
+      one_way(static_cast<std::uint16_t>(kOpFlagNotify | kOpFlagUrgent));
+  EXPECT_LT(urgent + coalesce / 2, plain);  // saves most of the delay
+  EXPECT_GT(urgent, 0);
+}
+
 TEST(DsmFlush, PublishesWithoutSyncOperation) {
   Cluster cluster(config_1l_1g(2));
   dsm::DsmConfig dcfg;
