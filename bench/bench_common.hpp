@@ -1,0 +1,124 @@
+// Shared scaffolding for the benchmark binaries (simspeed, coll_bench,
+// kv_bench): command-line parsing, the counters fingerprint, and the
+// baseline-JSON helpers used by --check.
+//
+// Every bench speaks the same CLI dialect:
+//   [--quick] [--repeat=N] [--json[=path]] [--check=<baseline>]
+// and emits a JSON artifact whose "workloads" array carries one
+// "counters_fnv1a" fingerprint per workload. The simulation is
+// deterministic, so --check compares fingerprints EXACTLY: any drift means
+// behavior changed, not noise.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "stats/counters.hpp"
+#include "stats/json.hpp"
+
+namespace multiedge::bench {
+
+struct Args {
+  bool quick = false;
+  int repeat = 1;
+  std::string json_path;   // empty: no artifact
+  std::string check_path;  // empty: no baseline check
+};
+
+inline Args parse_args(int argc, char** argv, std::string_view default_json,
+                       int default_repeat = 1) {
+  Args a;
+  a.repeat = default_repeat;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) a.quick = true;
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      a.repeat = std::atoi(argv[i] + 9);
+    }
+    if (std::strcmp(argv[i], "--json") == 0) a.json_path = default_json;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) a.json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--check=", 8) == 0) a.check_path = argv[i] + 8;
+  }
+  a.repeat = std::max(a.repeat, 1);
+  return a;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// Order-independent-enough fingerprint of a counter set: Counters::all()
+/// iterates in sorted order, so equal counter maps hash equal.
+inline std::uint64_t counters_fingerprint(const stats::Counters& c) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, value] : c.all()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, "=");
+    h = fnv1a(h, std::to_string(value));
+    h = fnv1a(h, "\n");
+  }
+  return h;
+}
+
+/// Load and parse a --check baseline; prints the failure reason on stderr.
+inline bool load_baseline(const std::string& path, stats::json::Value* doc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ERROR: cannot open baseline " << path << '\n';
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  if (!stats::json::parse(ss.str(), *doc, &err)) {
+    std::cerr << "ERROR: bad baseline JSON: " << err << '\n';
+    return false;
+  }
+  return true;
+}
+
+/// Compare the baseline's per-workload "counters_fnv1a" fields against the
+/// fresh run. `lookup` maps a workload name to its fresh fingerprint
+/// (nullptr: workload absent from this run, skipped — lets a baseline from a
+/// full run check a --quick rerun). `what` names the behavior in the
+/// failure message, e.g. "protocol".
+inline bool check_fingerprints(
+    const stats::json::Value& doc,
+    const std::function<const std::uint64_t*(const std::string&)>& lookup,
+    const char* what) {
+  bool ok = true;
+  const stats::json::Value* wl = doc.find("workloads");
+  if (!wl || !wl->is_array()) return ok;
+  for (const auto& e : wl->array) {
+    const stats::json::Value* name = e.find("name");
+    const stats::json::Value* fnv = e.find("counters_fnv1a");
+    if (!name || !fnv) continue;
+    const std::uint64_t* fresh = lookup(name->string);
+    if (fresh && hex(*fresh) != fnv->string) {
+      std::cerr << "CHECK FAIL: workload " << name->string
+                << " counters fingerprint drifted (baseline " << fnv->string
+                << ", now " << hex(*fresh) << ") — " << what
+                << " behavior changed\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace multiedge::bench

@@ -15,13 +15,13 @@
 //            compares per-workload protocol-counter fingerprints against the
 //            baseline (exact: the simulation is deterministic).
 #include <cstdint>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "coll/coll.hpp"
 #include "core/api.hpp"
 #include "stats/json.hpp"
@@ -142,14 +142,6 @@ struct Result {
   std::uint64_t counters_fnv = 0;
 };
 
-std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 Result run_workload(const Workload& w) {
   ClusterConfig ccfg = topo_config(w.topo, w.nodes);
   Cluster cluster(ccfg);
@@ -220,21 +212,8 @@ Result run_workload(const Workload& w) {
              (span_us * 1e3);
   }
   r.frames = all.get("data_frames_sent") + all.get("ack_frames_sent");
-  std::uint64_t h = 1469598103934665603ull;
-  for (const auto& [name, value] : all.all()) {
-    h = fnv1a(h, name);
-    h = fnv1a(h, "=");
-    h = fnv1a(h, std::to_string(value));
-    h = fnv1a(h, "\n");
-  }
-  r.counters_fnv = h;
+  r.counters_fnv = bench::counters_fingerprint(all);
   return r;
-}
-
-std::string hex(std::uint64_t v) {
-  std::ostringstream os;
-  os << "0x" << std::hex << v;
-  return os.str();
 }
 
 const Result* find(const std::vector<std::pair<Workload, Result>>& rs,
@@ -286,15 +265,10 @@ bool check_headlines(const std::vector<std::pair<Workload, Result>>& rs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string json_path;
-  std::string check_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_coll.json";
-    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
-    if (std::strncmp(argv[i], "--check=", 8) == 0) check_path = argv[i] + 8;
-  }
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_coll.json");
+  const bool quick = args.quick;
+  const std::string& json_path = args.json_path;
+  const std::string& check_path = args.check_path;
 
   std::cout << "== coll_bench: collective latency/throughput (simulated) ==\n"
             << "per-op = simulated time per collective; Gb/s = per-node "
@@ -312,7 +286,7 @@ int main(int argc, char** argv) {
         .cell(r.per_op_us, 2)
         .cell(r.gbps, 2)
         .cell(r.frames)
-        .cell(hex(r.counters_fnv));
+        .cell(bench::hex(r.counters_fnv));
   }
   t.print(std::cout);
 
@@ -329,7 +303,7 @@ int main(int argc, char** argv) {
           << ", \"per_op_us\": " << stats::json::number(r.per_op_us)
           << ", \"gbps\": " << stats::json::number(r.gbps)
           << ", \"frames\": " << r.frames << ", \"counters_fnv1a\": \""
-          << hex(r.counters_fnv) << "\"}"
+          << bench::hex(r.counters_fnv) << "\"}"
           << (i + 1 < results.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
@@ -337,36 +311,16 @@ int main(int argc, char** argv) {
   }
 
   if (!check_path.empty()) {
-    std::ifstream in(check_path);
-    if (!in) {
-      std::cerr << "ERROR: cannot open baseline " << check_path << '\n';
-      return 1;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
     stats::json::Value doc;
-    std::string err;
-    if (!stats::json::parse(ss.str(), doc, &err)) {
-      std::cerr << "ERROR: bad baseline JSON: " << err << '\n';
-      return 1;
-    }
+    if (!bench::load_baseline(check_path, &doc)) return 1;
     bool ok = headlines_ok;
-    const stats::json::Value* wl = doc.find("workloads");
-    if (wl && wl->is_array()) {
-      for (const auto& e : wl->array) {
-        const stats::json::Value* name = e.find("name");
-        const stats::json::Value* fnv = e.find("counters_fnv1a");
-        if (!name || !fnv) continue;
-        const Result* r = find(results, name->string);
-        if (r && hex(r->counters_fnv) != fnv->string) {
-          std::cerr << "CHECK FAIL: workload " << name->string
-                    << " counters fingerprint drifted (baseline "
-                    << fnv->string << ", now " << hex(r->counters_fnv)
-                    << ") — collective behavior changed\n";
-          ok = false;
-        }
-      }
-    }
+    ok &= bench::check_fingerprints(
+        doc,
+        [&](const std::string& name) -> const std::uint64_t* {
+          const Result* r = find(results, name);
+          return r ? &r->counters_fnv : nullptr;
+        },
+        "collective");
     if (!ok) return 1;
     std::cout << "check OK: headline properties hold, fingerprints match\n";
   }

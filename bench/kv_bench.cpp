@@ -1,0 +1,358 @@
+// Key-value store benchmark (src/kv): closed-loop YCSB-style load against
+// the partitioned, replicated store across request distributions, GET/PUT
+// mixes, node counts, and the paper's network setups (1L-1G single rail,
+// 2L-1G striped dual rail, 1L-10G).
+//
+// Each client fiber is a closed loop: preload its share of the keyspace,
+// rendezvous, then issue `ops` requests back to back (zipfian theta=0.99 or
+// uniform key choice, configurable GET fraction). Throughput is simulated
+// ops/sec over the measured window; latency percentiles come from the
+// per-client trace::LatencyHistogram (recorded in simulated ns by kv::Client
+// around each op, GETs and mutations separately).
+//
+// Headline evidence (checked by --check against a committed baseline):
+//   * one-sided GETs ride the striped rails: on the zipfian read-heavy mix,
+//     2L-1G GET throughput must reach >= 1.5x 1L-1G at 4 nodes;
+//   * tail latency stays bounded: zipfian 2L-1G p99 GET latency must not
+//     exceed 1.25x the committed baseline (the simulation is deterministic,
+//     so drift means the protocol or store changed, not noise).
+//
+// Usage: kv_bench [--quick] [--json[=path]] [--check=<baseline>]
+//   --json   writes the machine-readable BENCH_kv.json artifact.
+//   --check  reruns the sweep, verifies the headline properties, and
+//            compares per-workload counter fingerprints (exact).
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "kv/kv.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+#include "trace/histogram.hpp"
+
+namespace {
+
+using namespace multiedge;
+
+constexpr std::size_t kValueBytes = 4096;
+constexpr double kZipfTheta = 0.99;
+
+struct Workload {
+  std::string name;
+  std::string topo;  // "1L-1G", "2L-1G", "1L-10G"
+  int nodes;
+  bool zipf;         // false: uniform key choice
+  double get_frac;   // GET probability per op
+  int clients;       // client fibers per node
+  int ops;           // measured ops per client
+  int keys;          // preloaded keyspace size
+};
+
+ClusterConfig topo_config(const std::string& topo, int nodes) {
+  if (topo == "2L-1G") return config_2l_1g(nodes);
+  if (topo == "1L-10G") return config_1l_10g(nodes);
+  return config_1l_1g(nodes);
+}
+
+std::string wl_name(const Workload& w) {
+  std::ostringstream os;
+  os << "kv-" << (w.zipf ? "zipf" : "unif") << '-'
+     << static_cast<int>(w.get_frac * 100) << "g-" << w.topo << "-n"
+     << w.nodes;
+  return os.str();
+}
+
+std::vector<Workload> workloads(bool quick) {
+  const int clients = quick ? 4 : 8;
+  const int ops = quick ? 30 : 120;
+  const int keys = quick ? 256 : 1024;
+  std::vector<Workload> ws;
+  auto add = [&](const std::string& topo, int nodes, bool zipf,
+                 double get_frac) {
+    Workload w{"", topo, nodes, zipf, get_frac, clients, ops, keys};
+    w.name = wl_name(w);
+    ws.push_back(w);
+  };
+  // Rail scaling on the zipfian read-heavy mix (the headline pair), plus the
+  // 10G single-rail point of comparison.
+  add("1L-1G", 4, true, 0.95);
+  add("2L-1G", 4, true, 0.95);
+  add("1L-10G", 4, true, 0.95);
+  // Distribution and mix sensitivity on the dual-rail setup.
+  add("2L-1G", 4, false, 0.95);
+  add("2L-1G", 4, true, 0.50);
+  if (!quick) add("2L-1G", 8, true, 0.95);  // node scaling
+  return ws;
+}
+
+/// YCSB-style zipfian generator over [0, n): theta=0.99 skew, computed from
+/// a uniform double in [0,1). Gray's rejection-free construction.
+class ZipfGen {
+ public:
+  ZipfGen(std::uint64_t n, double theta) : n_(n) {
+    double zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan_ = zetan;
+    zeta2_ = 1.0 + std::pow(0.5, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t next(double u) const {
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  std::uint64_t n_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+std::string key_str(int k) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%06d", k);
+  return buf;
+}
+
+struct Result {
+  double sim_ms = 0;       // measured window, simulated
+  double kops = 0;         // total ops/sec (simulated), thousands
+  double get_kops = 0;
+  std::uint64_t gets = 0, puts = 0, errors = 0;
+  std::uint64_t get_p50 = 0, get_p95 = 0, get_p99 = 0;  // simulated ns
+  std::uint64_t put_p50 = 0, put_p99 = 0;
+  std::uint64_t counters_fnv = 0;
+};
+
+Result run_workload(const Workload& w) {
+  ClusterConfig ccfg = topo_config(w.topo, w.nodes);
+  ccfg.memory_bytes_per_node = std::size_t{128} << 20;  // 4KB values + slabs
+  Cluster cluster(ccfg);
+
+  kv::KvConfig cfg;
+  cfg.clients_per_node = w.clients;
+  cfg.max_value_bytes = kValueBytes;
+  // Under full load queueing delay dwarfs the unloaded RTT; generous
+  // timeouts keep retry storms from polluting the throughput measurement.
+  cfg.rpc_timeout = sim::ms(5);
+  cfg.get_timeout = sim::ms(5);
+  kv::System sys(cluster, cfg);
+
+  const int total = w.nodes * w.clients;
+  kv::HostBarrier loaded, done;
+  sim::Time t0 = 0, t1 = 0;
+  trace::LatencyHistogram get_h, put_h;
+  Result r;
+  const std::string value(kValueBytes, 'v');
+  const ZipfGen zipf(w.keys, kZipfTheta);
+
+  for (int node = 0; node < w.nodes; ++node) {
+    for (int c = 0; c < w.clients; ++c) {
+      const int id = node * w.clients + c;
+      sys.spawn_client(node, "load" + std::to_string(id), [&, id](
+                                                              kv::Client& cl) {
+        // Preload this client's stripe of the keyspace, then rendezvous and
+        // reset the histograms so only the measured window is reported.
+        for (int k = id; k < w.keys; k += total) {
+          if (cl.put(key_str(k), value) != kv::Status::kOk) ++r.errors;
+        }
+        loaded.arrive_and_wait(total);
+        cl.get_hist().clear();
+        cl.put_hist().clear();
+        t0 = cluster.sim().now();
+
+        std::mt19937_64 rng(kv::mix64(0x5ca1ab1eull ^ id));
+        std::uniform_real_distribution<double> u01(0.0, 1.0);
+        std::string got;
+        for (int i = 0; i < w.ops; ++i) {
+          const int k = static_cast<int>(
+              w.zipf ? zipf.next(u01(rng))
+                     : rng() % static_cast<std::uint64_t>(w.keys));
+          if (u01(rng) < w.get_frac) {
+            if (cl.get(key_str(k), &got) != kv::Status::kOk) ++r.errors;
+            ++r.gets;
+          } else {
+            if (cl.put(key_str(k), value) != kv::Status::kOk) ++r.errors;
+            ++r.puts;
+          }
+        }
+        get_h.merge(cl.get_hist());
+        put_h.merge(cl.put_hist());
+        done.arrive_and_wait(total);
+        t1 = cluster.sim().now();
+      });
+    }
+  }
+  cluster.run();
+
+  r.sim_ms = sim::to_us(t1 - t0) / 1000.0;
+  const double ops = static_cast<double>(r.gets + r.puts);
+  if (r.sim_ms > 0) {
+    r.kops = ops / r.sim_ms;
+    r.get_kops = static_cast<double>(r.gets) / r.sim_ms;
+  }
+  r.get_p50 = get_h.p50();
+  r.get_p95 = get_h.p95();
+  r.get_p99 = get_h.p99();
+  r.put_p50 = put_h.p50();
+  r.put_p99 = put_h.p99();
+
+  stats::Counters all = sys.aggregate_counters();
+  for (int i = 0; i < w.nodes; ++i) {
+    all.merge(cluster.engine(i).aggregate_counters());
+  }
+  r.counters_fnv = bench::counters_fingerprint(all);
+  return r;
+}
+
+const Result* find(const std::vector<std::pair<Workload, Result>>& rs,
+                   const std::string& name) {
+  for (const auto& [w, r] : rs) {
+    if (w.name == name) return &r;
+  }
+  return nullptr;
+}
+
+/// Fresh-run headline properties: error-free run, and the striped dual rail
+/// buys >= 1.5x zipfian GET throughput over the single rail.
+bool check_headlines(const std::vector<std::pair<Workload, Result>>& rs) {
+  bool ok = true;
+  for (const auto& [w, r] : rs) {
+    if (r.errors) {
+      std::cerr << "CHECK FAIL: workload " << w.name << " had " << r.errors
+                << " failed ops\n";
+      ok = false;
+    }
+  }
+  const Result* one = find(rs, "kv-zipf-95g-1L-1G-n4");
+  const Result* two = find(rs, "kv-zipf-95g-2L-1G-n4");
+  if (one && two) {
+    const double ratio = one->get_kops > 0 ? two->get_kops / one->get_kops : 0;
+    if (ratio < 1.5) {
+      std::cerr << "CHECK FAIL: zipfian GET throughput 2L-1G/1L-1G ratio "
+                << ratio << " < 1.5 — one-sided GETs not riding both rails\n";
+      ok = false;
+    } else {
+      std::cout << "rail scaling OK: zipfian GETs " << two->get_kops
+                << " Kops/s on 2L-1G vs " << one->get_kops
+                << " Kops/s on 1L-1G (" << ratio << "x)\n";
+    }
+    if (two->get_p99 == 0) {
+      std::cerr << "CHECK FAIL: zipfian 2L-1G p99 GET latency is zero — "
+                   "histograms not recording\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_kv.json");
+
+  std::cout << "== kv_bench: closed-loop KV load (simulated) ==\n"
+            << "Kops/s = simulated thousand ops/sec over the measured "
+               "window; latency percentiles in simulated us\n\n";
+
+  stats::Table t({"workload", "clients", "ops", "sim(ms)", "Kops/s",
+                  "GET Kops/s", "GETp50(us)", "GETp95", "GETp99", "PUTp99",
+                  "counters"});
+  std::vector<std::pair<Workload, Result>> results;
+  for (const Workload& w : workloads(args.quick)) {
+    Result r = run_workload(w);
+    results.emplace_back(w, r);
+    t.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.clients))
+        .cell(static_cast<std::uint64_t>(w.ops))
+        .cell(r.sim_ms, 2)
+        .cell(r.kops, 1)
+        .cell(r.get_kops, 1)
+        .cell(us(r.get_p50), 1)
+        .cell(us(r.get_p95), 1)
+        .cell(us(r.get_p99), 1)
+        .cell(us(r.put_p99), 1)
+        .cell(bench::hex(r.counters_fnv));
+  }
+  t.print(std::cout);
+
+  const bool headlines_ok = check_headlines(results);
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n  \"benchmark\": \"kv\",\n  \"quick\": "
+        << (args.quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [w, r] = results[i];
+      out << "    {\"name\": \"" << w.name << "\", \"clients\": " << w.clients
+          << ", \"ops_per_client\": " << w.ops << ", \"keys\": " << w.keys
+          << ", \"gets\": " << r.gets << ", \"puts\": " << r.puts
+          << ", \"sim_ms\": " << stats::json::number(r.sim_ms)
+          << ", \"kops\": " << stats::json::number(r.kops)
+          << ", \"get_kops\": " << stats::json::number(r.get_kops)
+          << ", \"get_p50_us\": " << stats::json::number(us(r.get_p50))
+          << ", \"get_p95_us\": " << stats::json::number(us(r.get_p95))
+          << ", \"get_p99_us\": " << stats::json::number(us(r.get_p99))
+          << ", \"put_p50_us\": " << stats::json::number(us(r.put_p50))
+          << ", \"put_p99_us\": " << stats::json::number(us(r.put_p99))
+          << ", \"counters_fnv1a\": \"" << bench::hex(r.counters_fnv) << "\"}"
+          << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << args.json_path << '\n';
+  }
+
+  if (!args.check_path.empty()) {
+    stats::json::Value doc;
+    if (!bench::load_baseline(args.check_path, &doc)) return 1;
+    bool ok = headlines_ok;
+    ok &= bench::check_fingerprints(
+        doc,
+        [&](const std::string& name) -> const std::uint64_t* {
+          const Result* r = find(results, name);
+          return r ? &r->counters_fnv : nullptr;
+        },
+        "store");
+    // Tail-latency gate: deterministic sim, so the committed p99 should
+    // reproduce exactly; 25% headroom tolerates cross-platform FP drift in
+    // the zipfian generator.
+    const stats::json::Value* wl = doc.find("workloads");
+    if (wl && wl->is_array()) {
+      for (const auto& e : wl->array) {
+        const stats::json::Value* name = e.find("name");
+        const stats::json::Value* p99 = e.find("get_p99_us");
+        if (!name || !p99 || !p99->is_number() ||
+            name->string != "kv-zipf-95g-2L-1G-n4") {
+          continue;
+        }
+        const Result* r = find(results, name->string);
+        if (r && us(r->get_p99) > p99->number * 1.25) {
+          std::cerr << "CHECK FAIL: " << name->string << " p99 GET latency "
+                    << us(r->get_p99) << " us exceeds 1.25x baseline "
+                    << p99->number << " us\n";
+          ok = false;
+        }
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "check OK: headline properties hold, fingerprints match\n";
+  }
+  return headlines_ok ? 0 : 1;
+}

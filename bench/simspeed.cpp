@@ -14,13 +14,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/api.hpp"
 #include "stats/json.hpp"
 #include "stats/table.hpp"
@@ -56,14 +55,6 @@ struct RunStats {
   double sim_ms = 0;
   std::uint64_t counters_fnv = 0;  // fingerprint of aggregate counters
 };
-
-std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 // One full run of `w` on a fresh cluster. The whole run is timed (setup and
 // handshake included; both are negligible against `messages` transfers).
@@ -113,14 +104,7 @@ RunStats run_workload(const Workload& w) {
   r.events = cluster.sim().events_executed();
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.sim_ms = sim::to_us(cluster.sim().now()) / 1000.0;
-  std::uint64_t h = 1469598103934665603ull;
-  for (const auto& [name, value] : all.all()) {
-    h = fnv1a(h, name);
-    h = fnv1a(h, "=");
-    h = fnv1a(h, std::to_string(value));
-    h = fnv1a(h, "\n");
-  }
-  r.counters_fnv = h;
+  r.counters_fnv = bench::counters_fingerprint(all);
   return r;
 }
 
@@ -140,12 +124,6 @@ RunStats measure(const Workload& w, int repeat) {
   return best;
 }
 
-std::string hex(std::uint64_t v) {
-  std::ostringstream os;
-  os << "0x" << std::hex << v;
-  return os.str();
-}
-
 double per_sec(std::uint64_t n, double wall_ms) {
   return wall_ms > 0 ? static_cast<double>(n) / (wall_ms / 1000.0) : 0.0;
 }
@@ -153,18 +131,12 @@ double per_sec(std::uint64_t n, double wall_ms) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  int repeat = 3;
-  std::string json_path;
-  std::string check_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strncmp(argv[i], "--repeat=", 9) == 0) repeat = std::atoi(argv[i] + 9);
-    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_simspeed.json";
-    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
-    if (std::strncmp(argv[i], "--check=", 8) == 0) check_path = argv[i] + 8;
-  }
-  repeat = std::max(repeat, 1);
+  const bench::Args args =
+      bench::parse_args(argc, argv, "BENCH_simspeed.json", /*default_repeat=*/3);
+  const bool quick = args.quick;
+  const int repeat = args.repeat;
+  const std::string& json_path = args.json_path;
+  const std::string& check_path = args.check_path;
 
   std::cout << "== simspeed: simulator self-throughput (wall-clock) ==\n"
             << "frames = data+ack frames on the wire; events = simulator "
@@ -188,7 +160,7 @@ int main(int argc, char** argv) {
         .cell(r.sim_ms, 1)
         .cell(per_sec(r.frames, r.wall_ms) / 1e3, 1)
         .cell(per_sec(r.events, r.wall_ms) / 1e3, 1)
-        .cell(hex(r.counters_fnv));
+        .cell(bench::hex(r.counters_fnv));
   }
   t.print(std::cout);
   const double total_fps = per_sec(total.frames, total.wall_ms);
@@ -211,7 +183,7 @@ int main(int argc, char** argv) {
           << stats::json::number(per_sec(r.frames, r.wall_ms))
           << ", \"events_per_sec\": "
           << stats::json::number(per_sec(r.events, r.wall_ms))
-          << ", \"counters_fnv1a\": \"" << hex(r.counters_fnv) << "\"}"
+          << ", \"counters_fnv1a\": \"" << bench::hex(r.counters_fnv) << "\"}"
           << (i + 1 < results.size() ? ",\n" : "\n");
     }
     out << "  ],\n  \"total\": {\"frames\": " << total.frames
@@ -225,19 +197,8 @@ int main(int argc, char** argv) {
   }
 
   if (!check_path.empty()) {
-    std::ifstream in(check_path);
-    if (!in) {
-      std::cerr << "ERROR: cannot open baseline " << check_path << '\n';
-      return 1;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
     stats::json::Value doc;
-    std::string err;
-    if (!stats::json::parse(ss.str(), doc, &err)) {
-      std::cerr << "ERROR: bad baseline JSON: " << err << '\n';
-      return 1;
-    }
+    if (!bench::load_baseline(check_path, &doc)) return 1;
     const stats::json::Value* tot = doc.find("total");
     const stats::json::Value* base_fps =
         tot ? tot->find("frames_per_sec") : nullptr;
@@ -247,25 +208,15 @@ int main(int argc, char** argv) {
     }
     // Counter fingerprints are exact (deterministic protocol); wall-clock
     // throughput gets a 20% noise allowance.
-    bool ok = true;
-    const stats::json::Value* wl = doc.find("workloads");
-    if (wl && wl->is_array()) {
-      for (const auto& e : wl->array) {
-        const stats::json::Value* name = e.find("name");
-        const stats::json::Value* fnv = e.find("counters_fnv1a");
-        if (!name || !fnv) continue;
-        for (const auto& [w, r] : results) {
-          if (w.name != name->string) continue;
-          if (hex(r.counters_fnv) != fnv->string) {
-            std::cerr << "CHECK FAIL: workload " << w.name
-                      << " counters fingerprint drifted (baseline "
-                      << fnv->string << ", now " << hex(r.counters_fnv)
-                      << ") — protocol behavior changed\n";
-            ok = false;
+    bool ok = bench::check_fingerprints(
+        doc,
+        [&](const std::string& name) -> const std::uint64_t* {
+          for (const auto& [w, r] : results) {
+            if (w.name == name) return &r.counters_fnv;
           }
-        }
-      }
-    }
+          return nullptr;
+        },
+        "protocol");
     const double floor = base_fps->number * 0.8;
     if (total_fps < floor) {
       std::cerr << "CHECK FAIL: total frames/sec " << total_fps

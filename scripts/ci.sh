@@ -9,6 +9,7 @@
 #   MULTIEDGE_SANITIZE=address scripts/ci.sh   # pick specific sanitizers
 #   CTEST_LABEL=tier2 scripts/ci.sh            # run the stress tier instead
 #   CTEST_LABEL=trace scripts/ci.sh            # just the observability tests
+#   CTEST_LABEL=kv scripts/ci.sh               # just the key-value store suite
 #
 # Environment:
 #   MULTIEDGE_SANITIZE  ""/OFF (default), ON (= address,undefined), or any
@@ -51,11 +52,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== ctest -L $LABEL"
 ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$(nproc)"
 
-# The collective layer rides along with every tier-1 run (differential
-# algorithm checks + fault-tolerance; see tests/coll_test.cpp).
+# The collective and key-value layers ride along with every tier-1 run
+# (differential algorithm checks + fault tolerance; see tests/coll_test.cpp
+# and tests/kv_test.cpp).
 if [ "$LABEL" = "tier1" ]; then
   echo "== ctest -L coll"
   ctest --test-dir "$BUILD_DIR" -L coll --output-on-failure -j "$(nproc)"
+  echo "== ctest -L kv"
+  ctest --test-dir "$BUILD_DIR" -L kv --output-on-failure -j "$(nproc)"
 fi
 
 # A green test tier is necessary but not sufficient for the hot path: a
@@ -71,12 +75,17 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   fi
   echo "== bench smoke ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench
+  cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench \
+    --target kv_bench
   "$BENCH_DIR"/bench/simspeed --check=BENCH_simspeed.json
   # Collective layer: headline properties (log-depth barrier wins at 16
   # nodes, ring all-reduce saturates both 2L rails) plus exact per-workload
   # counter fingerprints against the committed BENCH_coll.json.
   "$BENCH_DIR"/bench/coll_bench --check=BENCH_coll.json
+  # Key-value store: zipfian one-sided GETs must get >= 1.5x throughput from
+  # the second rail and hold the committed p99 tail, with exact counter
+  # fingerprints against BENCH_kv.json.
+  "$BENCH_DIR"/bench/kv_bench --check=BENCH_kv.json
 fi
 
 echo "== OK"

@@ -1,0 +1,936 @@
+#include "kv/kv.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "proto/wire.hpp"
+#include "sim/process.hpp"
+
+namespace multiedge::kv {
+
+namespace {
+
+constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63) & ~63ull; }
+
+// Operation codes carried in ReqHeader::op.
+constexpr std::uint32_t kOpGet = 0;
+constexpr std::uint32_t kOpPut = 1;
+constexpr std::uint32_t kOpDel = 2;
+
+/// Wire layout of a client request / replication message. Key bytes follow
+/// the header, value bytes follow the key.
+struct ReqHeader {
+  std::uint64_t seq;
+  std::uint32_t op;
+  std::uint32_t key_len;
+  std::uint32_t val_len;
+  std::uint32_t partition;    // replication only (requests recompute it)
+  std::uint16_t client_node;
+  std::uint16_t cslot;
+  std::uint32_t repl_gen;     // replication only: value echoed in the ack
+};
+static_assert(sizeof(ReqHeader) == 32);
+
+/// Wire layout of a server response; value bytes follow.
+struct RespHeader {
+  std::uint64_t seq;
+  std::uint32_t status;
+  std::uint32_t val_len;
+};
+static_assert(sizeof(RespHeader) == 16);
+
+/// In-memory record slot header; key bytes follow, then value bytes.
+/// version: odd = update in progress; even with key_len == 0 = free slot.
+struct RecordHeader {
+  std::uint64_t version;
+  std::uint64_t checksum;
+  std::uint64_t seq;
+  std::uint32_t key_len;
+  std::uint32_t val_len;
+};
+static_assert(sizeof(RecordHeader) == 32);
+
+std::uint64_t record_checksum(std::uint64_t seq, std::uint32_t key_len,
+                              std::uint32_t val_len, const std::byte* key,
+                              const std::byte* val) {
+  std::uint64_t h = fnv1a64(
+      {reinterpret_cast<const char*>(&seq), sizeof(seq)});
+  h = fnv1a64({reinterpret_cast<const char*>(&key_len), sizeof(key_len)}, h);
+  h = fnv1a64({reinterpret_cast<const char*>(&val_len), sizeof(val_len)}, h);
+  h = fnv1a64({reinterpret_cast<const char*>(key), key_len}, h);
+  h = fnv1a64({reinterpret_cast<const char*>(val), val_len}, h);
+  return h;
+}
+
+/// Sleep without occupying the app core. All fibers of a node share ONE
+/// core; an idle poll loop modeled as compute() would monopolize it and
+/// starve the fibers doing real work. A blocked/parked thread burns no CPU.
+void idle_wait(sim::Time t) { sim::Process::current()->delay(t); }
+
+std::uint32_t bucket_of(std::uint64_t key_hash, const KvConfig& cfg) {
+  // Re-mix so the bucket index is independent of the ring's partition cut.
+  return static_cast<std::uint32_t>(mix64(key_hash) %
+                                    cfg.buckets_per_partition);
+}
+
+/// Poll an operation handle to completion with a deadline; the calling
+/// fiber burns `poll` of app CPU per probe. Returns false on timeout (the
+/// operation stays outstanding — callers rotate buffers instead of reusing
+/// the landing area).
+bool wait_op(Endpoint& ep, const OpHandle& h, sim::Time timeout,
+             sim::Time poll) {
+  const sim::Time deadline = ep.cluster().sim().now() + timeout;
+  while (!h.test()) {
+    if (ep.cluster().sim().now() >= deadline) return false;
+    idle_wait(poll);
+  }
+  return true;
+}
+
+void check_sizes(const KvConfig& cfg, std::string_view key,
+                 std::string_view value) {
+  if (key.empty() || key.size() > cfg.max_key_bytes) {
+    throw std::invalid_argument("kv: key length out of range");
+  }
+  if (value.size() > cfg.max_value_bytes) {
+    throw std::invalid_argument("kv: value too large");
+  }
+}
+
+}  // namespace
+
+const char* status_str(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kNoSpace: return "no_space";
+    case Status::kWrongPrimary: return "wrong_primary";
+    case Status::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// KvDomain
+// ---------------------------------------------------------------------------
+
+KvDomain::KvDomain(Cluster& cluster, const KvConfig& cfg, const Ring& ring)
+    : cfg_(&cfg), num_nodes_(cluster.num_nodes()) {
+  (void)ring;
+  bucket_entry_bytes_ = 8 + 8 * cfg.chain_slots;
+  record_stride_ = static_cast<std::uint32_t>(
+      align64(sizeof(RecordHeader) + cfg.max_key_bytes + cfg.max_value_bytes));
+  req_stride_ = static_cast<std::uint32_t>(
+      align64(sizeof(ReqHeader) + cfg.max_key_bytes + cfg.max_value_bytes));
+  resp_stride_ = static_cast<std::uint32_t>(
+      align64(sizeof(RespHeader) + cfg.max_value_bytes));
+  get_buf_stride_ = static_cast<std::uint32_t>(
+      align64(bucket_entry_bytes_) +
+      std::uint64_t{cfg.chain_slots} * record_stride_);
+
+  const std::uint64_t P = cfg.partitions;
+  const std::uint64_t B = cfg.buckets_per_partition;
+  const std::uint64_t S = cfg.slots_per_partition;
+  const std::uint64_t N = num_nodes_;
+  const std::uint64_t C = cfg.clients_per_node;
+
+  struct Region {
+    std::uint64_t* va;
+    std::uint64_t bytes;
+  };
+  const Region regions[] = {
+      {&buckets_va_, P * B * bucket_entry_bytes_},
+      {&slab_va_, P * S * record_stride_},
+      {&seq_table_va_, P * N * C * 8},
+      {&req_va_, N * C * req_stride_},
+      {&resp_va_, C * N * resp_stride_},
+      {&repl_va_, N * req_stride_},
+      {&ack_va_, N * 8},
+      {&hb_va_, N * 8},
+      {&hb_src_va_, 8},
+      {&ack_src_va_, N * 8},
+      {&resp_build_va_, resp_stride_},
+      {&repl_build_va_, req_stride_},
+      {&req_build_va_, C * req_stride_},
+      {&get_buf_va_, C * kGetBufSets * get_buf_stride_},
+  };
+  // Same regions, same order, on every node: the bump allocator then yields
+  // identical VAs everywhere (the symmetry the one-sided paths rely on).
+  for (int node = 0; node < num_nodes_; ++node) {
+    proto::MemorySpace& mem = cluster.memory(node);
+    for (const Region& r : regions) {
+      const std::uint64_t va = mem.alloc(r.bytes, 64);
+      if (node == 0) {
+        *r.va = va;
+      } else if (va != *r.va) {
+        throw std::runtime_error(
+            "KvDomain: asymmetric allocation (nodes must allocate in the "
+            "same order before constructing the kv system)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FailureDetector
+// ---------------------------------------------------------------------------
+
+FailureDetector::FailureDetector(int node, int num_nodes, sim::Time timeout)
+    : node_(node),
+      timeout_(timeout),
+      last_val_(num_nodes, 0),
+      last_change_(num_nodes, 0),
+      down_(num_nodes, false) {}
+
+void FailureDetector::observe(sim::Time now, const proto::MemorySpace& mem,
+                              const KvDomain& dom, stats::Counters& counters) {
+  for (std::size_t peer = 0; peer < down_.size(); ++peer) {
+    if (static_cast<int>(peer) == node_ || down_[peer]) continue;
+    const std::uint64_t v =
+        *mem.as<std::uint64_t>(dom.hb_slot_va(static_cast<int>(peer)));
+    if (v != last_val_[peer]) {
+      last_val_[peer] = v;
+      last_change_[peer] = now;
+    } else if (now - last_change_[peer] > timeout_) {
+      // Sticky for the session: rejoin/resync is future work (ROADMAP).
+      down_[peer] = true;
+      ++num_down_;
+      counters.add("kv_peers_marked_down");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HostBarrier
+// ---------------------------------------------------------------------------
+
+void HostBarrier::arrive_and_wait(int expected) {
+  const std::uint64_t gen = gen_;
+  if (++count_ >= expected) {
+    count_ = 0;
+    ++gen_;
+    q_.notify_all();
+    return;
+  }
+  while (gen_ == gen) q_.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(System& sys, int node) : sys_(sys), node_(node) {
+  free_slots_.resize(sys.config().partitions);
+  next_fresh_.assign(sys.config().partitions, 0);
+}
+
+void Server::serve(Endpoint& ep) {
+  const KvConfig& cfg = sys_.config();
+  while (!sys_.stopped()) {
+    bool did = false;
+    // Poll only while holding the node lock: a fiber blocked on the lock
+    // must never be able to steal notifications from the holder (the holder
+    // services replication traffic itself while waiting for acks).
+    if (lock_.try_lock()) {
+      Notification n;
+      if (ep.poll_notification(&n, cfg.repl_tag)) {
+        handle_repl(ep, n);
+        did = true;
+      } else if (ep.poll_notification(&n, cfg.req_tag)) {
+        handle_request(ep, n);
+        did = true;
+      }
+      lock_.unlock();
+    }
+    if (!did) idle_wait(cfg.server_poll);
+  }
+}
+
+Status Server::execute_local(Endpoint& ep, std::uint32_t op,
+                             std::string_view key, std::string_view value,
+                             std::uint64_t seq, int client_node, int cslot,
+                             std::string* out) {
+  lock_.lock();
+  ApplyResult r = dispatch(ep, op, key, value, seq, client_node, cslot);
+  lock_.unlock();
+  counters_.add("kv_local_ops");
+  if (out) *out = std::move(r.value);
+  return r.status;
+}
+
+void Server::handle_request(Endpoint& ep, const Notification& n) {
+  proto::MemorySpace& mem = ep.memory();
+  // Snapshot the slot BEFORE dispatching: the slot is client-writable and
+  // dispatch yields (replication ack wait), during which a retry — or, once
+  // the response write has raced ahead, the client's NEXT request — lands in
+  // the same slot. Re-reading the header after the yield would respond with
+  // the new request's seq without ever applying it.
+  const ReqHeader h = *mem.as<ReqHeader>(n.va);
+  const auto* body =
+      reinterpret_cast<const char*>(mem.as<std::byte>(n.va + sizeof(ReqHeader)));
+  const std::string key(body, h.key_len);
+  const std::string value(body + h.key_len, h.val_len);
+  counters_.add("kv_server_requests");
+  const ApplyResult r =
+      dispatch(ep, h.op, key, value, h.seq, h.client_node, h.cslot);
+  respond(ep, h.client_node, h.cslot, h.seq, r.status, r.value);
+}
+
+Server::ApplyResult Server::dispatch(Endpoint& ep, std::uint32_t op,
+                                     std::string_view key,
+                                     std::string_view value, std::uint64_t seq,
+                                     int client_node, int cslot) {
+  const int p = sys_.ring().partition_of(fnv1a64(key));
+  ApplyResult r;
+  // Only the acting primary (in THIS node's liveness view) serves; anyone
+  // else bounces the client back to re-resolve. Views converge within a
+  // heartbeat timeout, and the seq table keeps retried writes exactly-once.
+  if (sys_.ring().primary_of(p, sys_.detector(node_).down_map()) != node_) {
+    counters_.add("kv_server_wrong_primary");
+    r.status = Status::kWrongPrimary;
+    return r;
+  }
+  std::uint64_t* tbl = ep.memory().as<std::uint64_t>(
+      sys_.domain().seq_table_va(p, client_node, cslot));
+  const std::uint64_t prev_seq = *tbl >> 8;
+  if (op == kOpGet) {
+    r.status = lookup_local(ep, p, key, &r.value);
+    if (seq > prev_seq) {
+      *tbl = (seq << 8) | static_cast<std::uint64_t>(r.status);
+    }
+    return r;
+  }
+  if (seq <= prev_seq) {
+    // Retry of an already-applied mutation (possibly first applied on a
+    // now-dead primary and learned here through replication). Never
+    // re-apply; do re-replicate a successful one, so a backup the dead
+    // primary missed converges (backups dedupe by the same table).
+    counters_.add("kv_dup_requests");
+    r.status = seq == prev_seq ? static_cast<Status>(*tbl & 0xff) : Status::kOk;
+    if (seq == prev_seq && r.status == Status::kOk) {
+      replicate(ep, op, p, key, value, seq, client_node, cslot);
+    }
+    return r;
+  }
+  r.status = apply(ep, op, p, key, value, seq, /*pause=*/true);
+  *tbl = (seq << 8) | static_cast<std::uint64_t>(r.status);
+  if (r.status == Status::kOk) {
+    // Replication completes (every live backup applied + acked) BEFORE the
+    // caller responds to the client: an acked write survives this node.
+    replicate(ep, op, p, key, value, seq, client_node, cslot);
+  }
+  return r;
+}
+
+Status Server::apply(Endpoint& ep, std::uint32_t op, int partition,
+                     std::string_view key, std::string_view value,
+                     std::uint64_t seq, bool pause) {
+  const KvConfig& cfg = sys_.config();
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep.memory();
+  const std::uint64_t entry_va =
+      dom.bucket_entry_va(partition, bucket_of(fnv1a64(key), cfg));
+  std::uint64_t* e = mem.as<std::uint64_t>(entry_va);
+  const int idx = find_in_bucket(partition, entry_va, key);
+
+  if (op == kOpDel) {
+    if (idx < 0) return Status::kNotFound;
+    const std::uint64_t sva = e[1 + idx];
+    const std::uint64_t cnt = e[0];
+    e[1 + idx] = e[cnt];  // swap in the last chain entry
+    e[0] = cnt - 1;
+    // Tombstone the slot for one-sided readers still holding its VA from an
+    // older chain snapshot: version stays even (freed, not torn), key_len 0
+    // marks it free. No fiber yield between these writes, so a remote read
+    // sees either the old record or the tombstone, never a mix.
+    auto* rh = mem.as<RecordHeader>(sva);
+    rh->version += 2;
+    rh->key_len = 0;
+    rh->val_len = 0;
+    rh->checksum = 0;
+    free_slots_[partition].push_back(static_cast<std::uint32_t>(
+        (sva - dom.slot_va(partition, 0)) / dom.record_stride()));
+    ep.compute(sim::ns(100));
+    counters_.add("kv_deletes_applied");
+    return Status::kOk;
+  }
+
+  assert(op == kOpPut);
+  std::uint64_t sva;
+  bool fresh = false;
+  if (idx >= 0) {
+    sva = e[1 + idx];
+  } else {
+    if (e[0] >= cfg.chain_slots) {
+      counters_.add("kv_no_space");
+      return Status::kNoSpace;
+    }
+    const std::uint32_t slot = alloc_slot(partition);
+    if (slot == UINT32_MAX) {
+      counters_.add("kv_no_space");
+      return Status::kNoSpace;
+    }
+    sva = dom.slot_va(partition, slot);
+    fresh = true;
+  }
+  auto* rh = mem.as<RecordHeader>(sva);
+  std::byte* kdst = mem.as<std::byte>(sva + sizeof(RecordHeader));
+  rh->version += 1;  // odd: update in progress
+  rh->seq = seq;
+  rh->key_len = static_cast<std::uint32_t>(key.size());
+  rh->val_len = static_cast<std::uint32_t>(value.size());
+  std::memcpy(kdst, key.data(), key.size());
+  std::memcpy(kdst + key.size(), value.data(), value.size());
+  // The copy cost (plus any configured pause) lands INSIDE the odd-version
+  // window — this is the fiber yield a concurrent one-sided reader can
+  // observe, and what the torn-read retry protocol exists for.
+  ep.compute(sim::ns_d(0.1 * static_cast<double>(key.size() + value.size())) +
+             (pause ? cfg.put_pause : 0));
+  rh->checksum = record_checksum(seq, rh->key_len, rh->val_len, kdst,
+                                 kdst + key.size());
+  rh->version += 1;  // even: stable
+  if (fresh) {
+    // Link only after the record is valid; no yield between these writes.
+    e[1 + e[0]] = sva;
+    e[0] += 1;
+  }
+  counters_.add("kv_puts_applied");
+  return Status::kOk;
+}
+
+Status Server::lookup_local(Endpoint& ep, int partition, std::string_view key,
+                            std::string* out) {
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep.memory();
+  const std::uint64_t entry_va =
+      dom.bucket_entry_va(partition, bucket_of(fnv1a64(key), sys_.config()));
+  const int idx = find_in_bucket(partition, entry_va, key);
+  ep.compute(sim::ns(100));
+  if (idx < 0) return Status::kNotFound;
+  const std::uint64_t sva = mem.as<std::uint64_t>(entry_va)[1 + idx];
+  const auto* rh = mem.as<RecordHeader>(sva);
+  if (out) {
+    const char* v = reinterpret_cast<const char*>(
+        mem.as<std::byte>(sva + sizeof(RecordHeader) + rh->key_len));
+    out->assign(v, rh->val_len);
+  }
+  return Status::kOk;
+}
+
+void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
+                       std::string_view key, std::string_view value,
+                       std::uint64_t seq, int client_node, int cslot) {
+  const KvConfig& cfg = sys_.config();
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep.memory();
+  const FailureDetector& det = sys_.detector(node_);
+
+  std::vector<int> targets;
+  for (int rep : sys_.ring().replicas(partition)) {
+    if (rep != node_ && !det.is_down(rep)) targets.push_back(rep);
+  }
+  if (targets.empty()) return;
+
+  const std::uint32_t gen = ++repl_gen_;
+  const std::uint64_t build = dom.repl_build_va();
+  auto* h = mem.as<ReqHeader>(build);
+  h->seq = seq;
+  h->op = op;
+  h->key_len = static_cast<std::uint32_t>(key.size());
+  h->val_len = static_cast<std::uint32_t>(value.size());
+  h->partition = static_cast<std::uint32_t>(partition);
+  h->client_node = static_cast<std::uint16_t>(client_node);
+  h->cslot = static_cast<std::uint16_t>(cslot);
+  h->repl_gen = gen;
+  std::byte* body = mem.as<std::byte>(build + sizeof(ReqHeader));
+  std::memcpy(body, key.data(), key.size());
+  std::memcpy(body + key.size(), value.data(), value.size());
+  const std::uint32_t bytes =
+      static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() + value.size());
+
+  const std::uint16_t flags = kOpFlagNotify | kOpFlagUrgent |
+                              kOpFlagBackwardFence |
+                              op_tag_flags(cfg.repl_tag);
+  for (int t : targets) {
+    Connection& cn = sys_.conn_to(ep, t);
+    cn.rdma_write(dom.repl_slot_va(node_), build, bytes, flags);
+  }
+  counters_.add("kv_repl_sent", targets.size());
+
+  // Wait for every live backup's ack (its per-primary ack word reaching this
+  // generation). While waiting, keep servicing INCOMING replication traffic —
+  // two primaries replicating to each other would otherwise deadlock. There
+  // is no ack timeout: a backup either acks or gets marked down.
+  std::vector<char> acked(targets.size(), 0);
+  for (;;) {
+    Notification n;
+    while (ep.poll_notification(&n, cfg.repl_tag)) handle_repl(ep, n);
+    bool all = true;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (acked[i]) continue;
+      if (*mem.as<std::uint64_t>(dom.ack_slot_va(targets[i])) >= gen) {
+        acked[i] = 1;
+        counters_.add("kv_repl_acked");
+      } else if (det.is_down(targets[i])) {
+        acked[i] = 1;  // pruned: the detector gave up on this backup
+        counters_.add("kv_repl_abandoned");
+      } else {
+        all = false;
+      }
+    }
+    if (all) {
+      return;
+    }
+    idle_wait(cfg.server_poll);
+  }
+}
+
+void Server::handle_repl(Endpoint& ep, const Notification& n) {
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep.memory();
+  // Snapshot before apply: apply() charges CPU (yields), and the sender may
+  // reuse the slot for the next generation once it prunes a slow ack.
+  const ReqHeader h_copy = *mem.as<ReqHeader>(n.va);
+  const ReqHeader* h = &h_copy;
+  const int src = n.src_node;
+  const int p = static_cast<int>(h->partition);
+  counters_.add("kv_repl_received");
+  const auto* body =
+      reinterpret_cast<const char*>(mem.as<std::byte>(n.va + sizeof(ReqHeader)));
+  const std::string key(body, h->key_len);
+  const std::string value(body + h->key_len, h->val_len);
+
+  // Apply if new (by the replicated client-seq table), regardless of whether
+  // WE still think the sender is primary: seq monotonicity already makes the
+  // apply idempotent and stale-proof, and judging the sender's primacy by a
+  // possibly-diverged local view would drop real writes.
+  if (src != node_ && sys_.ring().is_replica(p, node_) &&
+      sys_.ring().is_replica(p, src)) {
+    std::uint64_t* tbl = mem.as<std::uint64_t>(
+        dom.seq_table_va(p, h->client_node, h->cslot));
+    if (h->seq > (*tbl >> 8)) {
+      const Status st = apply(ep, h->op, p, key, value, h->seq,
+                              /*pause=*/false);
+      *tbl = (h->seq << 8) | static_cast<std::uint64_t>(st);
+      counters_.add("kv_repl_applied");
+    } else {
+      counters_.add("kv_repl_dups");
+    }
+  }
+  // Ack unconditionally (a pure one-sided write of the generation number;
+  // the sender polls the word). Withholding acks would wedge a primary
+  // whose ring view disagrees with ours.
+  const std::uint64_t src_slot = dom.ack_src_va() + std::uint64_t{8} * src;
+  *mem.as<std::uint64_t>(src_slot) = h->repl_gen;
+  // BackwardFence: ack writes from this node must apply in issue order at
+  // the primary, or a retransmitted older ack could land after (and mask) a
+  // newer generation, wedging the primary's ack wait.
+  sys_.conn_to(ep, src).rdma_write(dom.ack_slot_va(node_), src_slot, 8,
+                                   kOpFlagUrgent | kOpFlagBackwardFence);
+}
+
+void Server::respond(Endpoint& ep, int client_node, int cslot,
+                     std::uint64_t seq, Status st, std::string_view value) {
+  assert(client_node != node_ && "local clients use execute_local");
+  const KvConfig& cfg = sys_.config();
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep.memory();
+  const std::uint64_t build = dom.resp_build_va();
+  auto* rh = mem.as<RespHeader>(build);
+  rh->seq = seq;
+  rh->status = static_cast<std::uint32_t>(st);
+  rh->val_len = static_cast<std::uint32_t>(value.size());
+  std::memcpy(mem.as<std::byte>(build + sizeof(RespHeader)), value.data(),
+              value.size());
+  const std::uint16_t flags =
+      kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
+      op_tag_flags(static_cast<std::uint8_t>(cfg.resp_tag_base + cslot));
+  sys_.conn_to(ep, client_node)
+      .rdma_write(dom.resp_slot_va(cslot, node_), build,
+                  static_cast<std::uint32_t>(sizeof(RespHeader) + value.size()),
+                  flags);
+  counters_.add("kv_responses");
+}
+
+int Server::find_in_bucket(int partition, std::uint64_t bucket_entry,
+                           std::string_view key) const {
+  (void)partition;
+  const proto::MemorySpace& mem = sys_.cluster().memory(node_);
+  const std::uint64_t* e = mem.as<std::uint64_t>(bucket_entry);
+  for (std::uint64_t i = 0; i < e[0]; ++i) {
+    const auto* rh = mem.as<RecordHeader>(e[1 + i]);
+    if (rh->key_len != key.size()) continue;
+    const auto* k = mem.as<std::byte>(e[1 + i] + sizeof(RecordHeader));
+    if (std::memcmp(k, key.data(), key.size()) == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::uint32_t Server::alloc_slot(int partition) {
+  std::vector<std::uint32_t>& free = free_slots_[partition];
+  if (!free.empty()) {
+    const std::uint32_t s = free.back();
+    free.pop_back();
+    return s;
+  }
+  if (next_fresh_[partition] < sys_.config().slots_per_partition) {
+    return next_fresh_[partition]++;
+  }
+  return UINT32_MAX;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(System& sys, Endpoint& ep, int cslot)
+    : sys_(sys), ep_(ep), node_(ep.node_id()), cslot_(cslot) {}
+
+Status Client::get(std::string_view key, std::string* out) {
+  check_sizes(sys_.config(), key, {});
+  const sim::Time t0 = sys_.cluster().sim().now();
+  const Status st = sys_.config().one_sided_get ? one_sided_get(key, out)
+                                                : rpc(kOpGet, key, {}, out);
+  get_hist_.record(
+      static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
+  counters_.add("kv_gets");
+  return st;
+}
+
+Status Client::put(std::string_view key, std::string_view value) {
+  check_sizes(sys_.config(), key, value);
+  const sim::Time t0 = sys_.cluster().sim().now();
+  const Status st = rpc(kOpPut, key, value, nullptr);
+  put_hist_.record(
+      static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
+  counters_.add("kv_puts");
+  return st;
+}
+
+Status Client::del(std::string_view key) {
+  check_sizes(sys_.config(), key, {});
+  const sim::Time t0 = sys_.cluster().sim().now();
+  const Status st = rpc(kOpDel, key, {}, nullptr);
+  put_hist_.record(
+      static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
+  counters_.add("kv_dels");
+  return st;
+}
+
+void Client::pause(sim::Time t) { idle_wait(t); }
+
+Status Client::rpc(std::uint32_t op, std::string_view key,
+                   std::string_view value, std::string* out) {
+  const KvConfig& cfg = sys_.config();
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep_.memory();
+  const int p = sys_.ring().partition_of(fnv1a64(key));
+  const std::uint64_t seq = ++seq_;  // retries of this op reuse the seq
+  const int resp_tag = cfg.resp_tag_base + cslot_;
+
+  for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    if (attempt) counters_.add("kv_rpc_retries");
+    const int primary =
+        sys_.ring().primary_of(p, sys_.detector(node_).down_map());
+    if (primary < 0) return Status::kUnavailable;
+    if (primary == node_) {
+      std::string local;
+      const Status st = sys_.server(node_).execute_local(
+          ep_, op, key, value, seq, node_, cslot_, &local);
+      if (st == Status::kWrongPrimary) {
+        counters_.add("kv_wrong_primary");
+        idle_wait(cfg.heartbeat_period);  // let the detectors converge
+        continue;
+      }
+      if (out) *out = std::move(local);
+      return st;
+    }
+
+    const std::uint64_t build = dom.req_build_va(cslot_);
+    auto* h = mem.as<ReqHeader>(build);
+    h->seq = seq;
+    h->op = op;
+    h->key_len = static_cast<std::uint32_t>(key.size());
+    h->val_len = static_cast<std::uint32_t>(value.size());
+    h->partition = static_cast<std::uint32_t>(p);
+    h->client_node = static_cast<std::uint16_t>(node_);
+    h->cslot = static_cast<std::uint16_t>(cslot_);
+    h->repl_gen = 0;
+    std::byte* body = mem.as<std::byte>(build + sizeof(ReqHeader));
+    std::memcpy(body, key.data(), key.size());
+    std::memcpy(body + key.size(), value.data(), value.size());
+    sys_.conn_to(ep_, primary)
+        .rdma_write(dom.req_slot_va(node_, cslot_), build,
+                    static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() +
+                                               value.size()),
+                    kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
+                        op_tag_flags(cfg.req_tag));
+    counters_.add("kv_rpc_sent");
+
+    // Await the matching response; a resend can race a late original, so
+    // stale-seq responses are drained and dropped.
+    const sim::Time deadline = sys_.cluster().sim().now() + cfg.rpc_timeout;
+    bool got = false, wrong_primary = false;
+    Status st = Status::kUnavailable;
+    while (sys_.cluster().sim().now() < deadline && !got) {
+      Notification n;
+      while (ep_.poll_notification(&n, resp_tag)) {
+        const auto* rh = mem.as<RespHeader>(n.va);
+        if (rh->seq != seq) {
+          counters_.add("kv_stale_responses");
+          continue;
+        }
+        st = static_cast<Status>(rh->status);
+        if (st == Status::kWrongPrimary) {
+          wrong_primary = true;
+        } else if (out) {
+          const char* v = reinterpret_cast<const char*>(
+              mem.as<std::byte>(n.va + sizeof(RespHeader)));
+          out->assign(v, rh->val_len);
+        }
+        got = true;
+        break;
+      }
+      if (!got) idle_wait(cfg.client_poll);
+    }
+    if (got && !wrong_primary) return st;
+    if (wrong_primary) {
+      counters_.add("kv_wrong_primary");
+      idle_wait(cfg.heartbeat_period);
+    } else {
+      counters_.add("kv_rpc_timeouts");  // re-resolve (maybe re-route) + resend
+    }
+  }
+  return Status::kUnavailable;
+}
+
+Status Client::one_sided_get(std::string_view key, std::string* out) {
+  const KvConfig& cfg = sys_.config();
+  const KvDomain& dom = sys_.domain();
+  proto::MemorySpace& mem = ep_.memory();
+  const std::uint64_t kh = fnv1a64(key);
+  const int p = sys_.ring().partition_of(kh);
+  const std::uint64_t entry_va = dom.bucket_entry_va(p, bucket_of(kh, cfg));
+  const std::uint32_t entry_bytes = dom.bucket_entry_bytes();
+  const std::uint64_t entry_pad = align64(entry_bytes);
+  const std::uint32_t stride = dom.record_stride();
+  const std::uint64_t slab_base = dom.slot_va(p, 0);
+  const std::uint64_t slab_end =
+      slab_base + std::uint64_t{cfg.slots_per_partition} * stride;
+  const std::uint16_t rflags = kOpFlagSolicit | kOpFlagUrgent;
+
+  for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    if (attempt) counters_.add("kv_get_retries");
+    const int primary =
+        sys_.ring().primary_of(p, sys_.detector(node_).down_map());
+    if (primary < 0) return Status::kUnavailable;
+    if (primary == node_) {
+      // Fast path: the data is local; read it under the node lock (no
+      // concurrent updater mid-record, so no validation loop needed).
+      std::string local;
+      const Status st = sys_.server(node_).execute_local(
+          ep_, kOpGet, key, {}, ++seq_, node_, cslot_, &local);
+      if (st == Status::kWrongPrimary) {
+        counters_.add("kv_wrong_primary");
+        idle_wait(cfg.heartbeat_period);
+        continue;
+      }
+      counters_.add("kv_get_local");
+      if (out) *out = std::move(local);
+      return st;
+    }
+
+    const int set = acquire_get_buf();
+    const std::uint64_t buf = dom.get_buf_va(cslot_, set);
+    Connection& c = sys_.conn_to(ep_, primary);
+
+    // Round trip 1: the bucket's chain descriptor (count + slot VAs).
+    const OpHandle h = c.rdma_read(buf, entry_va, entry_bytes, rflags);
+    get_pending_[set] = h;
+    if (!wait_op(ep_, h, cfg.get_timeout, cfg.client_poll)) {
+      counters_.add("kv_get_timeouts");
+      continue;  // re-resolve: the primary may be on its way down
+    }
+    const std::uint64_t* e = mem.as<std::uint64_t>(buf);
+    const std::uint64_t count = e[0];
+    if (count > cfg.chain_slots) {  // not a valid descriptor snapshot
+      counters_.add("kv_get_torn");
+      continue;
+    }
+    if (count == 0) return Status::kNotFound;
+    std::vector<GatherSegment> segs;
+    segs.reserve(count);
+    bool sane = true;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t sva = e[1 + i];
+      if (sva < slab_base || sva + stride > slab_end ||
+          (sva - slab_base) % stride != 0) {
+        sane = false;
+        break;
+      }
+      segs.push_back(GatherSegment{sva - slab_base, buf + entry_pad + i * stride,
+                                   stride});
+    }
+    if (!sane) {
+      counters_.add("kv_get_torn");
+      continue;
+    }
+    // Round trip 2: every candidate record in ONE gather read.
+    const OpHandle g = c.rdma_gather_read(segs, slab_base, rflags);
+    get_pending_[set] = g;
+    if (!wait_op(ep_, g, cfg.get_timeout, cfg.client_poll)) {
+      counters_.add("kv_get_timeouts");
+      continue;
+    }
+    const Status st = validate_snapshot(mem.as<std::byte>(buf),
+                                        mem.as<std::byte>(buf + entry_pad),
+                                        key, out);
+    if (st != Status::kWrongPrimary) return st;  // kWrongPrimary = torn here
+    counters_.add("kv_get_torn");
+    idle_wait(cfg.client_poll);  // brief backoff before re-reading
+  }
+  return Status::kUnavailable;
+}
+
+int Client::acquire_get_buf() {
+  for (;;) {
+    for (int set = 0; set < KvDomain::kGetBufSets; ++set) {
+      if (!get_pending_[set].valid() || get_pending_[set].test()) return set;
+    }
+    // Every set has a timed-out read still outstanding; the protocol is
+    // reliable, so one of them will complete.
+    counters_.add("kv_get_buf_stalls");
+    idle_wait(sys_.config().client_poll);
+  }
+}
+
+Status Client::validate_snapshot(const std::byte* bucket,
+                                 const std::byte* slots, std::string_view key,
+                                 std::string* out) {
+  const KvConfig& cfg = sys_.config();
+  const std::uint32_t stride = sys_.domain().record_stride();
+  std::uint64_t count;
+  std::memcpy(&count, bucket, sizeof(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::byte* rec = slots + i * stride;
+    RecordHeader rh;
+    std::memcpy(&rh, rec, sizeof(rh));
+    if (rh.version & 1) return Status::kWrongPrimary;  // mid-update: torn
+    if (rh.key_len == 0) continue;  // freed between the two round trips
+    if (rh.key_len > cfg.max_key_bytes || rh.val_len > cfg.max_value_bytes) {
+      return Status::kWrongPrimary;
+    }
+    const std::byte* k = rec + sizeof(RecordHeader);
+    const std::byte* v = k + rh.key_len;
+    if (record_checksum(rh.seq, rh.key_len, rh.val_len, k, v) != rh.checksum) {
+      return Status::kWrongPrimary;
+    }
+    if (rh.key_len == key.size() &&
+        std::memcmp(k, key.data(), key.size()) == 0) {
+      if (out) out->assign(reinterpret_cast<const char*>(v), rh.val_len);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+// ---------------------------------------------------------------------------
+// System
+// ---------------------------------------------------------------------------
+
+System::System(Cluster& cluster, KvConfig cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      ring_(cluster.num_nodes(), cfg.partitions, cfg.replication, cfg.vnodes,
+            cfg.seed),
+      domain_(cluster, cfg_, ring_) {
+  const int n = cluster.num_nodes();
+  nodes_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto ctx = std::make_unique<NodeCtx>();
+    ctx->server = std::make_unique<Server>(*this, i);
+    ctx->detector =
+        std::make_unique<FailureDetector>(i, n, cfg_.failure_timeout);
+    ctx->conns.resize(n);
+    ctx->connecting.assign(n, false);
+    nodes_.push_back(std::move(ctx));
+  }
+  for (int i = 0; i < n; ++i) {
+    cluster_.spawn(i, "kv-serve-" + std::to_string(i), [this](Endpoint& ep) {
+      nodes_[ep.node_id()]->server->serve(ep);
+    });
+    cluster_.spawn(i, "kv-hb-" + std::to_string(i),
+                   [this](Endpoint& ep) { heartbeat_loop(ep); });
+  }
+}
+
+Connection& System::conn_to(Endpoint& ep, int peer) {
+  assert(peer != ep.node_id());
+  NodeCtx& ctx = *nodes_[ep.node_id()];
+  // One shared connection per peer; fibers racing to create it wait for the
+  // first one's handshake instead of opening duplicates.
+  for (;;) {
+    if (ctx.conns[peer].valid()) return ctx.conns[peer];
+    if (!ctx.connecting[peer]) break;
+    ctx.conn_wait.wait();
+  }
+  ctx.connecting[peer] = true;
+  Connection c = ep.connect(peer);
+  ctx.conns[peer] = c;
+  ctx.connecting[peer] = false;
+  ctx.conn_wait.notify_all();
+  return ctx.conns[peer];
+}
+
+void System::heartbeat_loop(Endpoint& ep) {
+  const int me = ep.node_id();
+  NodeCtx& ctx = *nodes_[me];
+  FailureDetector& det = *ctx.detector;
+  while (!stop_) {
+    *ep.memory().as<std::uint64_t>(domain_.hb_src_va()) = ++ctx.hb_counter;
+    for (int peer = 0; peer < cluster_.num_nodes(); ++peer) {
+      // Down peers get no more heartbeats (down is sticky; stop piling
+      // retransmissions onto a dead link).
+      if (peer == me || det.is_down(peer)) continue;
+      conn_to(ep, peer).rdma_write(domain_.hb_slot_va(me),
+                                   domain_.hb_src_va(), 8, kOpFlagUrgent);
+    }
+    idle_wait(cfg_.heartbeat_period);
+    det.observe(cluster_.sim().now(), ep.memory(), domain_,
+                ctx.server->counters());
+  }
+}
+
+void System::spawn_client(int node, std::string name,
+                          std::function<void(Client&)> body) {
+  NodeCtx& ctx = *nodes_[node];
+  const int cslot = ctx.next_cslot++;
+  if (cslot >= cfg_.clients_per_node) {
+    throw std::runtime_error("kv: more clients than clients_per_node on node " +
+                             std::to_string(node));
+  }
+  ++clients_active_;
+  any_client_spawned_ = true;
+  cluster_.spawn(node, std::move(name),
+                 [this, cslot, body = std::move(body)](Endpoint& ep) {
+                   Client c(*this, ep, cslot);
+                   body(c);
+                   nodes_[ep.node_id()]->client_counters.merge(c.counters());
+                   // Last client out stops the service fibers.
+                   if (--clients_active_ == 0) stop_ = true;
+                 });
+}
+
+stats::Counters System::aggregate_counters() const {
+  stats::Counters all;
+  for (const auto& ctx : nodes_) {
+    all.merge(ctx->server->counters());
+    all.merge(ctx->client_counters);
+  }
+  return all;
+}
+
+}  // namespace multiedge::kv

@@ -1,0 +1,131 @@
+// Consistent-hash ring for the partitioned key-value store (src/kv).
+//
+// Keys hash uniformly onto a fixed number of PARTITIONS; partitions are then
+// placed on a 64-bit circle populated by virtual nodes (`vnodes` points per
+// server, like the classic DHT construction): each partition is anchored at
+// a deterministic point and its replica list is the first R distinct servers
+// encountered walking the circle clockwise from the anchor. Keys map to
+// partitions by hash (not by arc) so per-partition load stays uniform — the
+// record slabs are fixed-size — while the circle decides only which servers
+// host each partition. Fixing the partition count (rather than hashing keys
+// straight to servers) is what lets every node pre-allocate the partition's
+// bucket array and record slab at SYMMETRIC virtual addresses — the property
+// the one-sided GET path and the replication writes both rely on (see
+// kv.hpp).
+//
+// The ring itself is static for the lifetime of a cluster; failover never
+// reshuffles placement. Instead the PRIMARY of a partition is defined as the
+// first replica that the local failure detector considers live, so a backup
+// is "promoted" the instant its detector times out the primary — no
+// coordination message, the same deterministic rule evaluated everywhere.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace multiedge::kv {
+
+/// FNV-1a 64-bit — the key hash (also used for record checksums).
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer — decorrelates derived hash streams.
+inline constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Ring {
+ public:
+  Ring(int num_nodes, int partitions, int replication, int vnodes,
+       std::uint64_t seed)
+      : num_nodes_(num_nodes),
+        partitions_(partitions),
+        replication_(std::min(replication, num_nodes)) {
+    assert(num_nodes >= 1 && partitions >= 1 && replication >= 1 &&
+           vnodes >= 1);
+    // Server points on the circle.
+    std::vector<std::pair<std::uint64_t, int>> points;
+    points.reserve(static_cast<std::size_t>(num_nodes) * vnodes);
+    for (int n = 0; n < num_nodes; ++n) {
+      for (int v = 0; v < vnodes; ++v) {
+        points.emplace_back(
+            mix64(seed ^ mix64((static_cast<std::uint64_t>(n) << 20) | v)), n);
+      }
+    }
+    std::sort(points.begin(), points.end());
+
+    // Partition anchors (used only to place replicas on the circle).
+    std::vector<std::pair<std::uint64_t, int>> anchors;
+    anchors.reserve(partitions);
+    for (int p = 0; p < partitions; ++p) {
+      anchors.emplace_back(mix64(seed ^ 0xa11ce5ull ^ mix64(p)), p);
+    }
+
+    replicas_.assign(partitions, {});
+    for (const auto& [anchor, p] : anchors) {
+      std::vector<int>& reps = replicas_[p];
+      auto it = std::lower_bound(points.begin(), points.end(),
+                                 std::make_pair(anchor, 0));
+      for (std::size_t step = 0;
+           step < points.size() && static_cast<int>(reps.size()) < replication_;
+           ++step, ++it) {
+        if (it == points.end()) it = points.begin();
+        const int node = it->second;
+        if (std::find(reps.begin(), reps.end(), node) == reps.end()) {
+          reps.push_back(node);
+        }
+      }
+    }
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  int partitions() const { return partitions_; }
+  int replication() const { return replication_; }
+
+  /// Partition owning a key hash. Uniform by construction (decorrelated from
+  /// the in-partition bucket hash, which finalizes the raw key hash).
+  int partition_of(std::uint64_t key_hash) const {
+    return static_cast<int>(mix64(key_hash ^ 0x9a2770c7315ull) %
+                            static_cast<std::uint64_t>(partitions_));
+  }
+
+  /// Static replica list of a partition (primary candidates, in preference
+  /// order). Never changes after construction.
+  const std::vector<int>& replicas(int partition) const {
+    return replicas_[partition];
+  }
+
+  /// Acting primary under a liveness view: the first replica not marked
+  /// down. Returns -1 when every replica is down.
+  int primary_of(int partition, const std::vector<bool>& down) const {
+    for (int r : replicas_[partition]) {
+      if (!down[r]) return r;
+    }
+    return -1;
+  }
+
+  bool is_replica(int partition, int node) const {
+    const std::vector<int>& reps = replicas_[partition];
+    return std::find(reps.begin(), reps.end(), node) != reps.end();
+  }
+
+ private:
+  int num_nodes_;
+  int partitions_;
+  int replication_;
+  std::vector<std::vector<int>> replicas_;  // [partition]
+};
+
+}  // namespace multiedge::kv

@@ -294,6 +294,63 @@ TEST(Reliability, DuplicateFramesAreSuppressed) {
   EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kSize, 13));
 }
 
+// The KV store's RPC path (src/kv) rides tagged urgent-notify writes and
+// assumes one notification per write: a duplicated notify frame that was
+// delivered twice would make a server execute the same request twice and a
+// client consume a response that was never sent. Hammer a heavily
+// duplicating wire and count.
+TEST(Reliability, DuplicatedUrgentNotifyDeliversExactlyOnce) {
+  ClusterConfig cfg = config_1l_1g(2);
+  cfg.topology.link.dup_prob = 0.3;
+  CheckedCluster cluster(cfg);
+  constexpr int kWrites = 64;
+  constexpr std::size_t kSize = 256;
+  constexpr std::uint8_t kTag = 7;
+  const std::uint64_t src = cluster.memory(0).alloc(kSize);
+  const std::uint64_t dst = cluster.memory(1).alloc(kSize * kWrites);
+  fill_pattern(cluster.memory(0), src, kSize, 91);
+
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    const auto flags = static_cast<std::uint16_t>(
+        kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
+        op_tag_flags(kTag));
+    for (int i = 0; i < kWrites; ++i) {
+      c.rdma_write(dst + static_cast<std::uint64_t>(i) * kSize, src,
+                   static_cast<std::uint32_t>(kSize), flags);
+    }
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) {
+    ep.accept(0);
+    for (int i = 0; i < kWrites; ++i) {
+      const Notification n = ep.wait_notification(kTag);
+      EXPECT_EQ(n.tag, kTag);
+      EXPECT_EQ(n.size, kSize);
+    }
+    // Give straggling duplicate frames time to arrive, then verify none of
+    // them surfaced as an extra notification.
+    ep.compute(sim::ms(2));
+    Notification extra;
+    EXPECT_FALSE(ep.poll_notification(&extra, kTag))
+        << "a duplicated notify frame was delivered twice";
+  });
+  cluster.run();
+
+  for (int i = 0; i < kWrites; ++i) {
+    EXPECT_TRUE(check_pattern(cluster.memory(1),
+                              dst + static_cast<std::uint64_t>(i) * kSize,
+                              kSize, 91));
+  }
+  // Both halves of the setup must have fired: the wire really duplicated
+  // frames, and the receiver really discarded copies.
+  const std::uint64_t wire_dups =
+      cluster.network().uplink(0, 0).stats().frames_duplicated;
+  EXPECT_GT(wire_dups, 0u);
+  stats::Counters agg = cluster.engine(0).aggregate_counters();
+  agg.merge(cluster.engine(1).aggregate_counters());
+  EXPECT_GT(agg.get("duplicates_discarded"), 0u);
+}
+
 // The window state lives in flat rings indexed by `seq & (capacity-1)`
 // (see proto/seq_ring.hpp), so two seqs that are exactly one ring capacity
 // apart share a slot. These tests force many ring revolutions with losses,
