@@ -60,6 +60,8 @@ if [ "$LABEL" = "tier1" ]; then
   ctest --test-dir "$BUILD_DIR" -L coll --output-on-failure -j "$(nproc)"
   echo "== ctest -L kv"
   ctest --test-dir "$BUILD_DIR" -L kv --output-on-failure -j "$(nproc)"
+  echo "== ctest -L member"
+  ctest --test-dir "$BUILD_DIR" -L member --output-on-failure -j "$(nproc)"
 fi
 
 # A green test tier is necessary but not sufficient for the hot path: a
@@ -76,7 +78,7 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   echo "== bench smoke ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench \
-    --target kv_bench
+    --target kv_bench --target scale_bench
   "$BENCH_DIR"/bench/simspeed --check=BENCH_simspeed.json
   # Collective layer: headline properties (log-depth barrier wins at 16
   # nodes, ring all-reduce saturates both 2L rails) plus exact per-workload
@@ -86,6 +88,10 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   # the second rail and hold the committed p99 tail, with exact counter
   # fingerprints against BENCH_kv.json.
   "$BENCH_DIR"/bench/kv_bench --check=BENCH_kv.json
+  # Scale-out: SWIM vs mesh convergence, probe-rate asymptotics at 128
+  # nodes, and KV/collective scaling on hierarchical fabrics, against the
+  # committed BENCH_scale.json (full sweep: the 128-node rows ARE the gate).
+  "$BENCH_DIR"/bench/scale_bench --check=BENCH_scale.json
 fi
 
 echo "== OK"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "proto/wire.hpp"
+#include "sim/process.hpp"
 
 namespace multiedge::coll {
 
@@ -95,10 +96,37 @@ void Communicator::consume_signal(int src, int chan) {
       return;
     }
   }
+  if (member_view_ == nullptr) {
+    for (;;) {
+      Notification n = ep_.wait_notification(config().tag);
+      if (n.src_node == src && n.va == want_va) return;
+      stash_.push_back(n);
+    }
+  }
+  // Fail-fast path (membership attached): poll instead of blocking, so a
+  // peer dying mid-collective surfaces as PeerFailure instead of a hang.
+  // ANY dead peer aborts the wait, not just the one we are waiting on — a
+  // collective involves every rank, and in chained algorithms (dissemination
+  // barrier, ring) a rank can be blocked on an alive peer that is itself
+  // stuck behind the dead one.
   for (;;) {
-    Notification n = ep_.wait_notification(config().tag);
-    if (n.src_node == src && n.va == want_va) return;
-    stash_.push_back(n);
+    Notification n;
+    while (ep_.poll_notification(&n, config().tag)) {
+      if (n.src_node == src && n.va == want_va) return;
+      stash_.push_back(n);
+    }
+    if (member_view_->num_down() > 0) {
+      int dead = src;
+      for (int p = 0; p < size_; ++p) {
+        if (member_view_->is_down(p)) {
+          dead = p;
+          break;
+        }
+      }
+      counters_.add("coll_peer_failures");
+      throw PeerFailure(dead);
+    }
+    sim::Process::current()->delay(sim::us(5));
   }
 }
 

@@ -36,10 +36,25 @@
 #include <memory>
 #include <vector>
 
+#include <stdexcept>
+
 #include "core/api.hpp"
+#include "member/member.hpp"
 #include "stats/counters.hpp"
 
 namespace multiedge::coll {
+
+/// Thrown out of a collective when an attached membership view marks a peer
+/// whose signal we are waiting on as Dead. Without membership attached,
+/// collectives keep the original semantics (block forever on a dead peer —
+/// the caller is expected to run under a failure-free assumption).
+struct PeerFailure : std::runtime_error {
+  explicit PeerFailure(int peer_node)
+      : std::runtime_error("coll: peer " + std::to_string(peer_node) +
+                           " marked dead during a collective"),
+        peer(peer_node) {}
+  int peer;
+};
 
 /// Notification tag used by collective traffic (DSM mailboxes use tag 0).
 inline constexpr std::uint8_t kCollTag = 1;
@@ -159,6 +174,12 @@ class Communicator {
   int size() const { return size_; }
   const CollConfig& config() const { return domain_.config(); }
 
+  /// Attach this rank's membership view: signal waits become fail-fast,
+  /// throwing PeerFailure when the awaited peer is marked Dead. The extra
+  /// polling path is taken ONLY when a view is attached, so failure-free
+  /// benchmarks keep their exact original behavior (and fingerprints).
+  void set_membership(const member::View* view) { member_view_ = view; }
+
   /// Block until every rank entered the barrier.
   void barrier();
 
@@ -229,6 +250,7 @@ class Communicator {
   Endpoint& ep_;
   int rank_;
   int size_;
+  const member::View* member_view_ = nullptr;
   std::vector<Connection> conns_;  // lazily established, indexed by peer
   std::deque<Notification> stash_;  // signals consumed out of request order
   std::uint64_t sig_gen_ = 0;

@@ -147,8 +147,6 @@ KvDomain::KvDomain(Cluster& cluster, const KvConfig& cfg, const Ring& ring)
       {&resp_va_, C * N * resp_stride_},
       {&repl_va_, N * req_stride_},
       {&ack_va_, N * 8},
-      {&hb_va_, N * 8},
-      {&hb_src_va_, 8},
       {&ack_src_va_, N * 8},
       {&resp_build_va_, resp_stride_},
       {&repl_build_va_, req_stride_},
@@ -168,35 +166,6 @@ KvDomain::KvDomain(Cluster& cluster, const KvConfig& cfg, const Ring& ring)
             "KvDomain: asymmetric allocation (nodes must allocate in the "
             "same order before constructing the kv system)");
       }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// FailureDetector
-// ---------------------------------------------------------------------------
-
-FailureDetector::FailureDetector(int node, int num_nodes, sim::Time timeout)
-    : node_(node),
-      timeout_(timeout),
-      last_val_(num_nodes, 0),
-      last_change_(num_nodes, 0),
-      down_(num_nodes, false) {}
-
-void FailureDetector::observe(sim::Time now, const proto::MemorySpace& mem,
-                              const KvDomain& dom, stats::Counters& counters) {
-  for (std::size_t peer = 0; peer < down_.size(); ++peer) {
-    if (static_cast<int>(peer) == node_ || down_[peer]) continue;
-    const std::uint64_t v =
-        *mem.as<std::uint64_t>(dom.hb_slot_va(static_cast<int>(peer)));
-    if (v != last_val_[peer]) {
-      last_val_[peer] = v;
-      last_change_[peer] = now;
-    } else if (now - last_change_[peer] > timeout_) {
-      // Sticky for the session: rejoin/resync is future work (ROADMAP).
-      down_[peer] = true;
-      ++num_down_;
-      counters.add("kv_peers_marked_down");
     }
   }
 }
@@ -424,7 +393,7 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   const KvConfig& cfg = sys_.config();
   const KvDomain& dom = sys_.domain();
   proto::MemorySpace& mem = ep.memory();
-  const FailureDetector& det = sys_.detector(node_);
+  const member::View& det = sys_.detector(node_);
 
   std::vector<int> targets;
   for (int rep : sys_.ring().replicas(partition)) {
@@ -841,19 +810,36 @@ Status Client::validate_snapshot(const std::byte* bucket,
 // System
 // ---------------------------------------------------------------------------
 
-System::System(Cluster& cluster, KvConfig cfg)
+System::System(Cluster& cluster, KvConfig cfg, member::Service* membership)
     : cluster_(cluster),
       cfg_(cfg),
       ring_(cluster.num_nodes(), cfg.partitions, cfg.replication, cfg.vnodes,
             cfg.seed),
       domain_(cluster, cfg_, ring_) {
+  if (membership) {
+    member_ = membership;
+  } else {
+    member::MemberConfig mc;
+    mc.period = cfg_.heartbeat_period;
+    mc.suspect_timeout = cfg_.failure_timeout;
+    mc.seed = cfg_.seed ^ 0x6d656d62ull;  // decorrelate from the ring
+    owned_member_ = std::make_unique<member::Service>(cluster_, mc);
+    member_ = owned_member_.get();
+  }
+  // Preserve the old detector's observable counter: every Dead transition in
+  // any node's view is a "peer marked down" on that node.
+  member_->add_on_transition(
+      [this](int observer, int peer, member::PeerState st, sim::Time) {
+        (void)peer;
+        if (st == member::PeerState::kDead) {
+          nodes_[observer]->server->counters().add("kv_peers_marked_down");
+        }
+      });
   const int n = cluster.num_nodes();
   nodes_.reserve(n);
   for (int i = 0; i < n; ++i) {
     auto ctx = std::make_unique<NodeCtx>();
     ctx->server = std::make_unique<Server>(*this, i);
-    ctx->detector =
-        std::make_unique<FailureDetector>(i, n, cfg_.failure_timeout);
     ctx->conns.resize(n);
     ctx->connecting.assign(n, false);
     nodes_.push_back(std::move(ctx));
@@ -862,8 +848,6 @@ System::System(Cluster& cluster, KvConfig cfg)
     cluster_.spawn(i, "kv-serve-" + std::to_string(i), [this](Endpoint& ep) {
       nodes_[ep.node_id()]->server->serve(ep);
     });
-    cluster_.spawn(i, "kv-hb-" + std::to_string(i),
-                   [this](Endpoint& ep) { heartbeat_loop(ep); });
   }
 }
 
@@ -885,25 +869,6 @@ Connection& System::conn_to(Endpoint& ep, int peer) {
   return ctx.conns[peer];
 }
 
-void System::heartbeat_loop(Endpoint& ep) {
-  const int me = ep.node_id();
-  NodeCtx& ctx = *nodes_[me];
-  FailureDetector& det = *ctx.detector;
-  while (!stop_) {
-    *ep.memory().as<std::uint64_t>(domain_.hb_src_va()) = ++ctx.hb_counter;
-    for (int peer = 0; peer < cluster_.num_nodes(); ++peer) {
-      // Down peers get no more heartbeats (down is sticky; stop piling
-      // retransmissions onto a dead link).
-      if (peer == me || det.is_down(peer)) continue;
-      conn_to(ep, peer).rdma_write(domain_.hb_slot_va(me),
-                                   domain_.hb_src_va(), 8, kOpFlagUrgent);
-    }
-    idle_wait(cfg_.heartbeat_period);
-    det.observe(cluster_.sim().now(), ep.memory(), domain_,
-                ctx.server->counters());
-  }
-}
-
 void System::spawn_client(int node, std::string name,
                           std::function<void(Client&)> body) {
   NodeCtx& ctx = *nodes_[node];
@@ -919,8 +884,9 @@ void System::spawn_client(int node, std::string name,
                    Client c(*this, ep, cslot);
                    body(c);
                    nodes_[ep.node_id()]->client_counters.merge(c.counters());
-                   // Last client out stops the service fibers.
-                   if (--clients_active_ == 0) stop_ = true;
+                   // Last client out stops the service fibers (and the
+                   // membership service, if this System owns it).
+                   if (--clients_active_ == 0) stop();
                  });
 }
 

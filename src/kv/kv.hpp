@@ -25,15 +25,21 @@
 //    is applied exactly once even when a client re-sends it to a promoted
 //    backup that already received it through replication.
 //
-// Failover: a FailureDetector on every node watches per-peer heartbeat
-// words (one-sided writes, no RPC). When a peer's word stops advancing for
-// `failure_timeout`, the peer is marked down — permanently, for the session;
-// rejoin/resync is future work (ROADMAP). "Promotion" is then just the ring
-// rule `primary = first live replica` evaluated locally by clients and
-// servers alike. A deposed primary that comes back keeps believing in its
-// own stale view, but no live node routes to it, and its late replication
-// RPCs are rejected by the (partition, client) seq table plus the receiver's
-// own "is the sender still primary?" check.
+// Failover: liveness comes from the SWIM-style gossip membership layer
+// (src/member) instead of the original all-pairs heartbeat mesh. Each node
+// probes one random peer per period, suspects (refutably) before marking
+// Dead, and piggybacks membership updates on its protocol messages — O(1)
+// probe load per node instead of O(n). A transient stall now only SUSPECTS
+// a node: if it answers a direct or indirect probe (or its own frames keep
+// arriving), the suspicion clears and it keeps its buckets — fixing the old
+// detector's sticky false-positive down-marks. Only a suspicion that
+// matures for the full timeout becomes Dead, and Dead stays sticky for the
+// session (rejoin/resync is future work — ROADMAP). "Promotion" is then
+// just the ring rule `primary = first live replica` evaluated locally by
+// clients and servers alike. A deposed primary that comes back keeps
+// believing in its own stale view, but no live node routes to it, and its
+// late replication RPCs are rejected by the (partition, client) seq table
+// plus the receiver's own "is the sender still primary?" check.
 #pragma once
 
 #include <array>
@@ -46,6 +52,7 @@
 
 #include "core/api.hpp"
 #include "kv/ring.hpp"
+#include "member/member.hpp"
 #include "sim/wait_queue.hpp"
 #include "stats/counters.hpp"
 #include "trace/histogram.hpp"
@@ -85,8 +92,10 @@ struct KvConfig {
   std::uint8_t resp_tag_base = 16;  // + client slot
 
   // --- timing ---
+  /// Membership probe period (one SWIM round per node per period).
   sim::Time heartbeat_period = sim::us(100);
-  sim::Time failure_timeout = sim::ms(2);   // heartbeat silence -> down
+  /// Unrefuted-suspicion maturity -> Dead (the membership suspect_timeout).
+  sim::Time failure_timeout = sim::ms(2);
   sim::Time server_poll = sim::us(1);       // server/ack poll granularity
   sim::Time client_poll = sim::ns(500);     // client response poll granularity
   sim::Time rpc_timeout = sim::us(800);     // resend/reroute a PUT/DELETE
@@ -154,13 +163,8 @@ class KvDomain {
   std::uint64_t ack_slot_va(int backup_node) const {
     return ack_va_ + static_cast<std::uint64_t>(backup_node) * 8;
   }
-  /// Heartbeat word written by peer `src_node`.
-  std::uint64_t hb_slot_va(int src_node) const {
-    return hb_va_ + static_cast<std::uint64_t>(src_node) * 8;
-  }
 
   // --- per-node scratch (sources of outbound writes) ---
-  std::uint64_t hb_src_va() const { return hb_src_va_; }
   std::uint64_t ack_src_va() const { return ack_src_va_; }
   std::uint64_t resp_build_va() const { return resp_build_va_; }
   std::uint64_t repl_build_va() const { return repl_build_va_; }
@@ -192,36 +196,11 @@ class KvDomain {
   std::uint64_t resp_va_ = 0;
   std::uint64_t repl_va_ = 0;
   std::uint64_t ack_va_ = 0;
-  std::uint64_t hb_va_ = 0;
-  std::uint64_t hb_src_va_ = 0;
   std::uint64_t ack_src_va_ = 0;
   std::uint64_t resp_build_va_ = 0;
   std::uint64_t repl_build_va_ = 0;
   std::uint64_t req_build_va_ = 0;
   std::uint64_t get_buf_va_ = 0;
-};
-
-/// Per-node failure detector: watches heartbeat words and marks silent
-/// peers down. Down is sticky for the session (no rejoin/resync yet).
-class FailureDetector {
- public:
-  FailureDetector(int node, int num_nodes, sim::Time timeout);
-
-  /// Scan heartbeat words (called by the heartbeat fiber every period).
-  void observe(sim::Time now, const proto::MemorySpace& mem,
-               const KvDomain& dom, stats::Counters& counters);
-
-  bool is_down(int peer) const { return down_[peer]; }
-  const std::vector<bool>& down_map() const { return down_; }
-  int num_down() const { return num_down_; }
-
- private:
-  int node_;
-  sim::Time timeout_;
-  std::vector<std::uint64_t> last_val_;
-  std::vector<sim::Time> last_change_;
-  std::vector<bool> down_;
-  int num_down_ = 0;
 };
 
 /// Mutual exclusion between the fibers of ONE node (server loop, local
@@ -363,55 +342,65 @@ class HostBarrier {
 };
 
 /// Cluster-wide KV system: allocates the symmetric domain, spawns a server
-/// loop and a heartbeat/failure-detector fiber on every node, and wraps
-/// client fibers. Construct host-side (before Cluster::run), after any
-/// other symmetric allocations. The service fibers exit when every client
-/// spawned through spawn_client has returned (or on an explicit stop()).
+/// loop on every node, and wraps client fibers. Liveness comes from a
+/// member::Service — pass one in to share it with other subsystems (coll,
+/// DSM), or let the System own a private one configured from
+/// heartbeat_period / failure_timeout. Construct host-side (before
+/// Cluster::run), after any other symmetric allocations; an external
+/// membership service must be constructed BEFORE the System (allocation
+/// order is part of the symmetric-VA contract). The service fibers exit
+/// when every client spawned through spawn_client has returned (or on an
+/// explicit stop()); an owned membership service is stopped with them.
 class System {
  public:
-  System(Cluster& cluster, KvConfig cfg = {});
+  explicit System(Cluster& cluster, KvConfig cfg = {},
+                  member::Service* membership = nullptr);
 
   Cluster& cluster() { return cluster_; }
   const KvConfig& config() const { return cfg_; }
   const Ring& ring() const { return ring_; }
   const KvDomain& domain() const { return domain_; }
   Server& server(int node) { return *nodes_[node]->server; }
-  FailureDetector& detector(int node) { return *nodes_[node]->detector; }
+  /// This node's membership view (the failure "detector" the data paths
+  /// consult: is_down == Dead; suspicion is refutable and NOT down).
+  member::View& detector(int node) { return member_->view(node); }
+  member::Service& membership() { return *member_; }
 
   /// Spawn a client fiber on `node`; client slots are assigned in spawn
   /// order per node (must stay below KvConfig::clients_per_node).
   void spawn_client(int node, std::string name,
                     std::function<void(Client&)> body);
 
-  void stop() { stop_ = true; }
+  void stop() {
+    stop_ = true;
+    if (owned_member_) owned_member_->stop();
+  }
   bool stopped() const { return stop_; }
 
-  /// All KV-level counters (servers, detectors, clients) merged.
+  /// All KV-level counters (servers, clients) merged.
   stats::Counters aggregate_counters() const;
 
  private:
   friend class Server;
   friend class Client;
-  friend class FailureDetector;
 
   struct NodeCtx {
     std::unique_ptr<Server> server;
-    std::unique_ptr<FailureDetector> detector;
     std::vector<Connection> conns;      // shared per-node connection cache
     std::vector<bool> connecting;
     sim::WaitQueue conn_wait;
     int next_cslot = 0;
-    std::uint64_t hb_counter = 0;
     stats::Counters client_counters;    // merged at client fiber exit
   };
 
   Connection& conn_to(Endpoint& ep, int peer);
-  void heartbeat_loop(Endpoint& ep);
 
   Cluster& cluster_;
   KvConfig cfg_;
   Ring ring_;
   KvDomain domain_;
+  std::unique_ptr<member::Service> owned_member_;
+  member::Service* member_;
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
   bool stop_ = false;
   int clients_active_ = 0;

@@ -4,11 +4,12 @@
 
 namespace multiedge::net {
 
-FrameSink* Switch::add_port(Channel* out) {
-  auto port = std::make_unique<Port>(this, ports_.size(), out);
+FrameSink* Switch::add_port(Channel* out, bool uplink) {
+  auto port = std::make_unique<Port>(this, ports_.size(), out, uplink);
   Port* raw = port.get();
   out->set_on_tx_done([this, idx = raw->idx] { try_transmit(idx); });
   ports_.push_back(std::move(port));
+  if (uplink) uplinks_.push_back(raw->idx);
   return raw;
 }
 
@@ -29,29 +30,73 @@ const std::size_t* Switch::lookup(const MacAddr& mac) const {
   return nullptr;
 }
 
+std::size_t Switch::ecmp_uplink(const MacAddr& src, const MacAddr& dst) const {
+  // FNV-1a over both MACs: one (src, dst) flow always takes the same spine
+  // (no in-flow reordering beyond what the channels inject), while distinct
+  // flows spread across the group.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const MacAddr& m) {
+    for (std::uint8_t b : m.bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(src);
+  mix(dst);
+  return uplinks_[h % uplinks_.size()];
+}
+
 void Switch::ingress(std::size_t port, FramePtr frame) {
   if (frame->fcs_bad) {
     // Store-and-forward switches verify the FCS and discard bad frames.
     ++stats_.fcs_drops;
     return;
   }
+  const bool from_uplink = ports_[port]->uplink;
   learn(frame->src, port);
 
-  if (const std::size_t* dst = lookup(frame->dst)) {
-    if (*dst == port) return;  // destination is behind the ingress port
+  const std::size_t* dst = lookup(frame->dst);
+  // A destination learned behind an uplink is reachable via ANY spine; pick
+  // the flow's ECMP member instead of pinning everything to whichever uplink
+  // happened to deliver the last frame from that station.
+  std::size_t out_port = 0;
+  if (dst) {
+    out_port = *dst;
+    // Split horizon: a frame already descending from the spine layer whose
+    // destination is learned behind an uplink is not behind this leaf at
+    // all — re-entering the spine layer would loop it.
+    if (from_uplink && ports_[out_port]->uplink) return;
+    if (!from_uplink && ports_[out_port]->uplink && uplinks_.size() > 1) {
+      out_port = ecmp_uplink(frame->src, frame->dst);
+      ++stats_.ecmp_steered;
+    }
+    if (out_port == port) return;  // destination is behind the ingress port
     ++stats_.forwarded;
     sim_.in(cfg_.forwarding_latency,
-            [this, out = *dst, f = std::move(frame)]() mutable {
+            [this, out = out_port, f = std::move(frame)]() mutable {
               enqueue(out, std::move(f));
             });
     return;
   }
-  // Unknown destination: flood everywhere except the ingress port.
+  // Unknown destination: flood the local ports (except ingress). Frames that
+  // arrived on an uplink stop here — split horizon keeps leaf-spine-leaf
+  // loop-free — and frames from a local station take exactly ONE hash-chosen
+  // uplink so multiple spines never duplicate the flood.
   ++stats_.flooded;
   for (std::size_t p = 0; p < ports_.size(); ++p) {
     if (p == port) continue;
+    if (ports_[p]->uplink) continue;
     sim_.in(cfg_.forwarding_latency,
             [this, p, f = frame]() mutable { enqueue(p, std::move(f)); });
+  }
+  if (!from_uplink && !uplinks_.empty()) {
+    std::size_t up = uplinks_.size() > 1 ? ecmp_uplink(frame->src, frame->dst)
+                                         : uplinks_.front();
+    if (uplinks_.size() > 1) ++stats_.ecmp_steered;
+    sim_.in(cfg_.forwarding_latency,
+            [this, up, f = std::move(frame)]() mutable {
+              enqueue(up, std::move(f));
+            });
   }
 }
 
@@ -61,6 +106,7 @@ void Switch::enqueue(std::size_t port, FramePtr frame) {
     ++stats_.tail_drops;
     return;
   }
+  ++p.tx_frames;
   p.queue.push_back(std::move(frame));
   try_transmit(port);
 }

@@ -1,6 +1,17 @@
 // Store-and-forward Ethernet switch with MAC learning and finite output
 // queues (tail drop) — the "simple forwarding functions" an edge-based
 // network asks of its core (§1 of the paper).
+//
+// Hierarchical topologies (two-level, fat-tree) mark the ports that lead
+// toward spine switches as UPLINKS. The flat MAC table then behaves like a
+// leaf switch's: destinations behind an uplink are reached through an
+// ECMP-style hash over the uplink group (per src/dst flow, so one flow stays
+// on one path while the population of flows spreads across spines), and
+// unknown destinations flood the local (non-uplink) ports but take only ONE
+// hash-chosen uplink — multiple spines would otherwise deliver duplicate
+// copies of every flooded frame. Frames arriving on an uplink are never
+// reflected back into the fabric (split horizon), which keeps the leaf-
+// spine-leaf graph loop-free without a spanning tree.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,9 @@ class Switch {
     std::uint64_t flooded = 0;
     std::uint64_t tail_drops = 0;
     std::uint64_t fcs_drops = 0;
+    /// Frames steered through the uplink group by the ECMP hash (both
+    /// learned-behind-uplink forwards and the single flooded uplink copy).
+    std::uint64_t ecmp_steered = 0;
   };
 
   Switch(sim::Simulator& sim, SwitchConfig config, std::string name)
@@ -41,10 +55,12 @@ class Switch {
   Switch& operator=(const Switch&) = delete;
 
   /// Add a port transmitting on `out`. Returns the sink the peer's channel
-  /// should deliver into.
-  FrameSink* add_port(Channel* out);
+  /// should deliver into. Ports flagged `uplink` form the ECMP group that
+  /// leads toward the spine layer.
+  FrameSink* add_port(Channel* out, bool uplink = false);
 
   std::size_t num_ports() const { return ports_.size(); }
+  std::size_t num_uplinks() const { return uplinks_.size(); }
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
@@ -52,16 +68,25 @@ class Switch {
   std::size_t queue_depth(std::size_t port) const {
     return ports_[port]->queue.size();
   }
+  /// Frames enqueued toward port `port` (diagnostics / tests — the uplink
+  /// spread assertions count these).
+  std::uint64_t port_tx_frames(std::size_t port) const {
+    return ports_[port]->tx_frames;
+  }
+  /// Whether port `port` is part of the uplink ECMP group.
+  bool port_uplink(std::size_t port) const { return ports_[port]->uplink; }
 
  private:
   struct Port : FrameSink {
-    Port(Switch* owner, std::size_t index, Channel* out_channel)
-        : sw(owner), idx(index), out(out_channel) {}
+    Port(Switch* owner, std::size_t index, Channel* out_channel, bool up)
+        : sw(owner), idx(index), out(out_channel), uplink(up) {}
     void deliver(FramePtr frame) override { sw->ingress(idx, std::move(frame)); }
 
     Switch* sw;
     std::size_t idx;
     Channel* out;
+    bool uplink;
+    std::uint64_t tx_frames = 0;
     std::deque<FramePtr> queue;
   };
 
@@ -70,11 +95,14 @@ class Switch {
   void try_transmit(std::size_t port);
   void learn(const MacAddr& mac, std::size_t port);
   const std::size_t* lookup(const MacAddr& mac) const;
+  /// ECMP member for a (src, dst) flow — deterministic per flow.
+  std::size_t ecmp_uplink(const MacAddr& src, const MacAddr& dst) const;
 
   sim::Simulator& sim_;
   SwitchConfig cfg_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::size_t> uplinks_;  // indices of uplink ports, in add order
   // MAC learning table. A station count is a handful of node*rail entries,
   // so a flat array beats a tree: lookup is a short linear scan with no
   // pointer chasing, and learning an already-known MAC writes one slot.

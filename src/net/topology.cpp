@@ -37,6 +37,24 @@ NicConfig myricom_10g_config() {
   return c;
 }
 
+TopologyConfig two_level_topology(int nodes, int rails, int groups) {
+  TopologyConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.rails = rails;
+  cfg.edge_groups = groups;
+  cfg.spines = 1;
+  return cfg;
+}
+
+TopologyConfig fat_tree_topology(int nodes, int rails, int groups, int spines) {
+  TopologyConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.rails = rails;
+  cfg.edge_groups = groups;
+  cfg.spines = spines;
+  return cfg;
+}
+
 Network::Network(sim::Simulator& sim, TopologyConfig config)
     : sim_(sim), cfg_(std::move(config)) {
   cfg_.nic.gbps = cfg_.link.gbps;
@@ -54,24 +72,34 @@ Network::Network(sim::Simulator& sim, TopologyConfig config)
     }
   }
   if (tree) {
+    spines_per_rail_ = std::max(1, cfg_.spines);
     const double trunk_gbps =
         cfg_.core_uplink_gbps > 0 ? cfg_.core_uplink_gbps : cfg_.link.gbps;
     for (int r = 0; r < cfg_.rails; ++r) {
-      cores_.push_back(std::make_unique<Switch>(sim_, cfg_.switch_cfg,
-                                                "core" + std::to_string(r)));
+      for (int s = 0; s < spines_per_rail_; ++s) {
+        // Spine 0 keeps the historical "coreN" name so diagnostics from the
+        // original single-core two-level mode read the same.
+        std::string name = "core" + std::to_string(r);
+        if (s > 0) name += "." + std::to_string(s);
+        cores_.push_back(
+            std::make_unique<Switch>(sim_, cfg_.switch_cfg, std::move(name)));
+      }
       for (int g = 0; g < groups_per_rail_; ++g) {
-        // Full-duplex trunk between edge switch (r,g) and the rail's core.
-        auto e2c = std::make_unique<Channel>(
-            sim_, trunk_gbps, cfg_.link.propagation_delay, next_seed());
-        auto c2e = std::make_unique<Channel>(
-            sim_, trunk_gbps, cfg_.link.propagation_delay, next_seed());
         Switch& edge = edge_switch(r, g);
-        FrameSink* core_sink = cores_[r]->add_port(c2e.get());
-        FrameSink* edge_sink = edge.add_port(e2c.get());
-        e2c->set_sink(core_sink);
-        c2e->set_sink(edge_sink);
-        trunks_.push_back(std::move(e2c));
-        trunks_.push_back(std::move(c2e));
+        for (int s = 0; s < spines_per_rail_; ++s) {
+          // Full-duplex trunk between edge switch (r,g) and spine (r,s).
+          auto e2c = std::make_unique<Channel>(
+              sim_, trunk_gbps, cfg_.link.propagation_delay, next_seed());
+          auto c2e = std::make_unique<Channel>(
+              sim_, trunk_gbps, cfg_.link.propagation_delay, next_seed());
+          Switch& spine = spine_switch(r, s);
+          FrameSink* core_sink = spine.add_port(c2e.get());
+          FrameSink* edge_sink = edge.add_port(e2c.get(), /*uplink=*/true);
+          e2c->set_sink(core_sink);
+          c2e->set_sink(edge_sink);
+          trunks_.push_back(std::move(e2c));
+          trunks_.push_back(std::move(c2e));
+        }
       }
     }
   }

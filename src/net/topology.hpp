@@ -65,7 +65,18 @@ struct TopologyConfig {
   /// Bandwidth of each edge-to-core uplink. Equal to the node links by
   /// default, i.e. an oversubscribed core.
   double core_uplink_gbps = 0.0;  // 0 = same as link.gbps
+  /// Spine switches per rail (only meaningful with edge_groups > 1).
+  /// 1 = the classic two-level tree with a single core. S > 1 = a folded
+  /// Clos / fat-tree pod: every edge switch trunks to every spine and
+  /// spreads flows across them with an ECMP hash at the edge.
+  int spines = 1;
 };
+
+/// Two-level tree: `groups` edge switches per rail behind one core.
+TopologyConfig two_level_topology(int nodes, int rails, int groups);
+/// Fat-tree pod: `groups` edge switches per rail, each trunked to all
+/// `spines` spine switches (ECMP across the uplinks).
+TopologyConfig fat_tree_topology(int nodes, int rails, int groups, int spines);
 
 /// NIC config presets matching the paper's hardware.
 NicConfig broadcom_tg3_config();    // 1-GBit/s Broadcom Tigon 3
@@ -89,7 +100,11 @@ class Network {
   Switch& edge_switch(int rail, int group) {
     return *switches_[rail * groups_per_rail_ + group];
   }
-  Switch& core_switch(int rail) { return *cores_[rail]; }
+  Switch& core_switch(int rail) { return *cores_[rail * spines_per_rail_]; }
+  Switch& spine_switch(int rail, int s) {
+    return *cores_[rail * spines_per_rail_ + s];
+  }
+  int num_spines() const { return cores_.empty() ? 0 : spines_per_rail_; }
   bool has_core() const { return !cores_.empty(); }
 
   /// Channels for fault injection: node -> switch and switch -> node.
@@ -100,8 +115,9 @@ class Network {
   sim::Simulator& sim_;
   TopologyConfig cfg_;
   int groups_per_rail_ = 1;
+  int spines_per_rail_ = 1;
   std::vector<std::unique_ptr<Switch>> switches_;  // edge switches, rail-major
-  std::vector<std::unique_ptr<Switch>> cores_;     // one per rail (if any)
+  std::vector<std::unique_ptr<Switch>> cores_;     // spines, rail-major
   std::vector<std::unique_ptr<Channel>> trunks_;   // edge<->core channels
   std::vector<std::vector<std::unique_ptr<Nic>>> nics_;          // [node][rail]
   std::vector<std::vector<std::unique_ptr<Channel>>> uplinks_;   // [node][rail]

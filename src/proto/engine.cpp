@@ -156,6 +156,7 @@ void Engine::dispatch(RxItem& item) {
         counters_.add("frames_unknown_conn");
         return;
       }
+      note_rx_from(c->peer_node());
       c->handle_ack_frame(item.decoded, proto_cpu_);
       break;
     }
@@ -166,11 +167,20 @@ void Engine::dispatch(RxItem& item) {
         counters_.add("frames_unknown_conn");
         return;
       }
+      note_rx_from(c->peer_node());
       c->process_ack(h.ack, proto_cpu_);
       c->handle_data_frame(item.frame, item.decoded, proto_cpu_);
       break;
     }
   }
+}
+
+void Engine::note_rx_from(int peer) {
+  if (peer < 0) return;
+  if (static_cast<std::size_t>(peer) >= last_rx_.size()) {
+    last_rx_.resize(peer + 1, 0);
+  }
+  last_rx_[peer] = sim_.now();
 }
 
 void Engine::flush_backlog() {

@@ -58,6 +58,17 @@ class Engine {
   /// Notified whenever any connection reaches kEstablished.
   sim::WaitQueue& conn_events() { return conn_events_; }
 
+  // --- passive liveness ---
+  /// Simulation time of the last frame (data, read request, or ack) received
+  /// from `peer` over any established connection; 0 if never. Membership
+  /// layers read this to piggyback liveness on existing traffic: a peer whose
+  /// frames are still arriving needs no dedicated probe.
+  sim::Time last_rx_from(int peer) const {
+    return peer >= 0 && static_cast<std::size_t>(peer) < last_rx_.size()
+               ? last_rx_[peer]
+               : sim::Time{0};
+  }
+
   // --- notifications (remote-write completion events, §2.2) ---
   /// With `tag < 0` (default) any queued notification matches; otherwise only
   /// notifications carrying that demultiplexing tag. The queue is one FIFO:
@@ -118,6 +129,7 @@ class Engine {
   };
   void dispatch(RxItem& item);
   void flush_backlog();
+  void note_rx_from(int peer);
 
   Connection* find_conn(std::uint32_t local_id);
   Connection* make_connection(int peer, bool is_initiator);
@@ -149,6 +161,7 @@ class Engine {
 
   std::deque<Notification> notifications_;
   sim::WaitQueue notify_events_;
+  std::vector<sim::Time> last_rx_;  // per peer node, grown on demand
 
   std::vector<Connection*> backlog_;
   std::vector<Connection*> backlog_scratch_;  // reused by flush_backlog()

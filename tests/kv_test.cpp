@@ -434,6 +434,69 @@ TEST(KvFaultTest, BackupPromotionAcrossRailOutage) {
 }
 
 // ---------------------------------------------------------------------------
+// Regression: a flapping-but-alive node must NOT be marked down
+// ---------------------------------------------------------------------------
+// The pre-SWIM mesh detector marked a peer down after one missed heartbeat
+// window and the mark was sticky forever — a brief cable wiggle permanently
+// evicted a healthy node from every ring. With membership, a short outage
+// only raises a refutable suspicion: once the node answers again, the
+// suspicion clears everywhere and it keeps serving its buckets.
+
+TEST(KvFaultTest, FlappingNodeKeepsItsBuckets) {
+  constexpr int kN = 4;
+  ClusterConfig ccfg = config_1l_1g(kN);
+  // Node 1 drops off the network for 3ms — much longer than the old mesh
+  // failure window, much shorter than the suspicion maturity below.
+  ccfg.topology.rail_outages.push_back(
+      {/*rail=*/0, /*node=*/1, /*start=*/sim::ms(3), /*end=*/sim::ms(6)});
+  CheckedCluster cluster(std::move(ccfg));
+
+  kv::KvConfig cfg;
+  cfg.replication = 2;
+  cfg.clients_per_node = 1;
+  cfg.heartbeat_period = sim::us(200);
+  cfg.failure_timeout = sim::ms(15);  // suspicion maturity >> the outage
+  kv::System sys(cluster, cfg);
+
+  // Keys whose primary is the flapping node.
+  std::vector<std::string> owned;
+  for (int i = 0; owned.size() < 6; ++i) {
+    const std::string k = "flap-k" + std::to_string(i);
+    const int p = sys.ring().partition_of(kv::fnv1a64(k));
+    if (sys.ring().replicas(p)[0] == 1) owned.push_back(k);
+  }
+
+  sys.spawn_client(0, "cli", [&](kv::Client& c) {
+    for (const auto& k : owned) {
+      ASSERT_EQ(c.put(k, "pre-" + k), kv::Status::kOk);
+    }
+    // Sleep across the outage AND past the point where the old sticky
+    // detector would have declared node 1 dead many times over.
+    c.pause(sim::ms(20));
+    for (const auto& k : owned) {
+      std::string got;
+      ASSERT_EQ(c.get(k, &got), kv::Status::kOk) << k;
+      ASSERT_EQ(got, "pre-" + k) << k;  // still served by node 1's buckets
+      ASSERT_EQ(c.put(k, "post-" + k), kv::Status::kOk) << k;
+    }
+  });
+  cluster.run();
+
+  // Nobody ever promoted a backup: the flap never became a down-mark.
+  for (int node = 0; node < kN; ++node) {
+    EXPECT_FALSE(sys.detector(node).is_down(1)) << "node " << node;
+    EXPECT_EQ(sys.detector(node).num_down(), 0) << "node " << node;
+  }
+  const stats::Counters agg = sys.aggregate_counters();
+  EXPECT_EQ(agg.get("kv_peers_marked_down"), 0u);
+  const stats::Counters mem = sys.membership().aggregate_counters();
+  EXPECT_EQ(mem.get("member_dead_marks"), 0u);
+  EXPECT_GT(mem.get("member_suspects"), 0u)
+      << "the outage was never even noticed — the scenario is too gentle to "
+         "regress the sticky-down bug";
+}
+
+// ---------------------------------------------------------------------------
 // Capacity: chain overflow, delete/free, slot reuse
 // ---------------------------------------------------------------------------
 

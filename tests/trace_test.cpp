@@ -361,6 +361,76 @@ TEST(GoldenDeterminism, LossyRunMatchesPreRefactorFingerprint) {
   EXPECT_EQ(g.retransmissions, 1u);
 }
 
+// The hierarchical topologies (two-level tree, fat-tree with ECMP spines)
+// must be exactly as deterministic as the flat switch: two runs of the same
+// seeded scenario produce bit-identical counters and trace exports. Unlike
+// the fingerprint constants above this compares run-vs-run, so it holds on
+// any toolchain.
+GoldenRun hierarchical_run(int spines) {
+  ClusterConfig cfg = config_1l_1g(8);
+  cfg.topology.edge_groups = 4;
+  cfg.topology.spines = spines;
+  cfg.topology.link.drop_prob = 0.01;  // exercise retransmission too
+  cfg.trace.enabled = true;
+  Cluster cluster(cfg);
+  constexpr std::size_t kSize = 64 * 1024;
+  std::uint64_t src = 0, dst = 0;
+  for (int i = 0; i < 8; ++i) {
+    src = cluster.memory(i).alloc(kSize);
+    dst = cluster.memory(i).alloc(kSize);
+  }
+  // Cross-group traffic from several sources so both spines carry frames.
+  for (int s : {0, 1, 2}) {
+    cluster.spawn(s, "w" + std::to_string(s), [&, s](Endpoint& ep) {
+      ep.connect(s + 5).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+    });
+    cluster.spawn(s + 5, "r" + std::to_string(s),
+                  [](Endpoint& ep) { ep.wait_notification(); });
+  }
+  cluster.run();
+
+  stats::Counters all;
+  for (int i = 0; i < 8; ++i) all.merge(cluster.engine(i).aggregate_counters());
+  GoldenRun g;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& [name, value] : all.all()) {
+    h = fnv1a(name, h);
+    h = fnv1a("=", h);
+    h = fnv1a(std::to_string(value), h);
+    h = fnv1a("\n", h);
+  }
+  g.counters_fnv = h;
+  std::ostringstream os;
+  cluster.write_trace(os);
+  const std::string doc = os.str();
+  g.trace_fnv = fnv1a(doc);
+  g.trace_bytes = doc.size();
+  g.data_frames_rcvd = all.get("data_frames_rcvd");
+  g.retransmissions = all.get("retransmissions");
+  return g;
+}
+
+TEST(GoldenDeterminism, TwoLevelTreeSameSeedRunsAreBitIdentical) {
+  const GoldenRun a = hierarchical_run(/*spines=*/1);
+  const GoldenRun b = hierarchical_run(/*spines=*/1);
+  EXPECT_EQ(a.counters_fnv, b.counters_fnv);
+  EXPECT_EQ(a.trace_fnv, b.trace_fnv);
+  EXPECT_EQ(a.trace_bytes, b.trace_bytes);
+  EXPECT_GT(a.data_frames_rcvd, 0u);
+}
+
+TEST(GoldenDeterminism, FatTreeSameSeedRunsAreBitIdentical) {
+  const GoldenRun a = hierarchical_run(/*spines=*/2);
+  const GoldenRun b = hierarchical_run(/*spines=*/2);
+  EXPECT_EQ(a.counters_fnv, b.counters_fnv);
+  EXPECT_EQ(a.trace_fnv, b.trace_fnv);
+  EXPECT_EQ(a.trace_bytes, b.trace_bytes);
+  EXPECT_GT(a.data_frames_rcvd, 0u);
+  // And the two shapes are genuinely different fabrics, not aliases.
+  const GoldenRun two = hierarchical_run(/*spines=*/1);
+  EXPECT_NE(a.counters_fnv, two.counters_fnv);
+}
+
 // ------------------------------------------------------------------- exports
 
 TEST(Export, HistogramToJsonRoundTrips) {
