@@ -114,11 +114,13 @@ void BM_Rng(benchmark::State& state) {
 BENCHMARK(BM_Rng);
 
 void BM_CounterAdd(benchmark::State& state) {
+  static const stats::CounterId kCtr =
+      stats::CounterRegistry::intern("data_frames_rcvd");
   stats::Counters c;
   for (auto _ : state) {
-    c.add("data_frames_rcvd");
+    c.add(kCtr);
   }
-  benchmark::DoNotOptimize(c.get("data_frames_rcvd"));
+  benchmark::DoNotOptimize(c.get(kCtr));
 }
 BENCHMARK(BM_CounterAdd);
 

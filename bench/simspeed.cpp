@@ -169,6 +169,44 @@ int main(int argc, char** argv) {
             << total_fps / 1e3 << " Kframes/s, "
             << per_sec(total.events, total.wall_ms) / 1e3 << " Kevents/s\n";
 
+  // --- trace overhead: the recorder must be a pure observer ---------------
+  // Rerun the first workload with the flight recorder and with full tracing
+  // enabled. Wall-clock cost is reported; the protocol counter fingerprint
+  // must be bit-identical to the trace-off run — recording may never perturb
+  // simulated behavior.
+  const Workload base_w = workloads(quick)[0];
+  Workload flight_w = base_w;
+  flight_w.cfg.trace.flight_recorder = true;
+  Workload full_w = base_w;
+  full_w.cfg.trace.enabled = true;
+  const RunStats& r_off = results[0].second;
+  const RunStats r_flight = measure(flight_w, repeat);
+  const RunStats r_full = measure(full_w, repeat);
+  if (r_flight.counters_fnv != r_off.counters_fnv ||
+      r_full.counters_fnv != r_off.counters_fnv) {
+    std::cerr << "ERROR: tracing perturbed protocol counters (" << base_w.name
+              << "): off=" << bench::hex(r_off.counters_fnv)
+              << " flight=" << bench::hex(r_flight.counters_fnv)
+              << " full=" << bench::hex(r_full.counters_fnv) << '\n';
+    return 2;
+  }
+  auto overhead_pct = [&](const RunStats& r) {
+    return r_off.wall_ms > 0 ? (r.wall_ms - r_off.wall_ms) / r_off.wall_ms * 100.0
+                             : 0.0;
+  };
+  std::cout << "\n== trace overhead (" << base_w.name
+            << ", counters bit-identical across modes) ==\n";
+  stats::Table ot({"mode", "wall(ms)", "Kframes/s", "overhead(%)"});
+  ot.row().cell("off").cell(r_off.wall_ms, 1)
+      .cell(per_sec(r_off.frames, r_off.wall_ms) / 1e3, 1).cell(0.0, 1);
+  ot.row().cell("flight-recorder").cell(r_flight.wall_ms, 1)
+      .cell(per_sec(r_flight.frames, r_flight.wall_ms) / 1e3, 1)
+      .cell(overhead_pct(r_flight), 1);
+  ot.row().cell("full-tracing").cell(r_full.wall_ms, 1)
+      .cell(per_sec(r_full.frames, r_full.wall_ms) / 1e3, 1)
+      .cell(overhead_pct(r_full), 1);
+  ot.print(std::cout);
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"benchmark\": \"simspeed\",\n  \"quick\": "
@@ -186,7 +224,16 @@ int main(int argc, char** argv) {
           << ", \"counters_fnv1a\": \"" << bench::hex(r.counters_fnv) << "\"}"
           << (i + 1 < results.size() ? ",\n" : "\n");
     }
-    out << "  ],\n  \"total\": {\"frames\": " << total.frames
+    out << "  ],\n  \"trace_overhead\": {\"workload\": \"" << base_w.name
+        << "\", \"off_wall_ms\": " << stats::json::number(r_off.wall_ms)
+        << ", \"flight_wall_ms\": " << stats::json::number(r_flight.wall_ms)
+        << ", \"full_wall_ms\": " << stats::json::number(r_full.wall_ms)
+        << ", \"flight_overhead_pct\": "
+        << stats::json::number(overhead_pct(r_flight))
+        << ", \"full_overhead_pct\": "
+        << stats::json::number(overhead_pct(r_full))
+        << ", \"counters_identical\": true},\n";
+    out << "  \"total\": {\"frames\": " << total.frames
         << ", \"events\": " << total.events
         << ", \"wall_ms\": " << stats::json::number(total.wall_ms)
         << ", \"frames_per_sec\": " << stats::json::number(total_fps)

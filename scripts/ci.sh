@@ -36,6 +36,11 @@ else
 fi
 LABEL="${CTEST_LABEL:-tier1}"
 
+# Flight-recorder postmortems from stress runs land here; CI uploads the
+# directory as an artifact when a job goes red (see .github/workflows/ci.yml).
+export MULTIEDGE_POSTMORTEM_DIR="${MULTIEDGE_POSTMORTEM_DIR:-$PWD/postmortems}"
+mkdir -p "$MULTIEDGE_POSTMORTEM_DIR"
+
 # Prefer Ninja for fresh build dirs; never fight an existing cache's
 # generator choice.
 GEN_ARGS=()

@@ -11,6 +11,29 @@ namespace multiedge::coll {
 
 namespace {
 
+// Interned counter handles: one registry lookup at startup, plain vector
+// adds on the data path.
+const stats::CounterId kCtrSignals =
+    stats::CounterRegistry::intern("coll_signals");
+const stats::CounterId kCtrPeerFailures =
+    stats::CounterRegistry::intern("coll_peer_failures");
+const stats::CounterId kCtrBytesPut =
+    stats::CounterRegistry::intern("coll_bytes_put");
+const stats::CounterId kCtrCombineBytes =
+    stats::CounterRegistry::intern("coll_combine_bytes");
+const stats::CounterId kCtrRounds =
+    stats::CounterRegistry::intern("coll_rounds");
+const stats::CounterId kCtrBarriers =
+    stats::CounterRegistry::intern("coll_barriers");
+const stats::CounterId kCtrBroadcasts =
+    stats::CounterRegistry::intern("coll_broadcasts");
+const stats::CounterId kCtrReduces =
+    stats::CounterRegistry::intern("coll_reduces");
+const stats::CounterId kCtrAllReduces =
+    stats::CounterRegistry::intern("coll_all_reduces");
+const stats::CounterId kCtrAllToAlls =
+    stats::CounterRegistry::intern("coll_all_to_alls");
+
 constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63) & ~63ull; }
 
 int ceil_log2(int n) {
@@ -85,7 +108,7 @@ void Communicator::signal(int peer, int chan) {
                               kOpFlagUrgent | op_tag_flags(config().tag);
   conn_to(peer).rdma_write(domain_.slot_va(rank_, chan), domain_.sig_src_va(),
                            8, flags);
-  counters_.add("coll_signals");
+  counters_.add(kCtrSignals);
 }
 
 void Communicator::consume_signal(int src, int chan) {
@@ -123,7 +146,12 @@ void Communicator::consume_signal(int src, int chan) {
           break;
         }
       }
-      counters_.add("coll_peer_failures");
+      counters_.add(kCtrPeerFailures);
+      // Ship the black box before unwinding: the ring right now holds the
+      // traffic leading up to the failure.
+      ep_.cluster().trigger_postmortem("coll peer failure: node " +
+                                       std::to_string(dead) +
+                                       " marked dead during a collective");
       throw PeerFailure(dead);
     }
     sim::Process::current()->delay(sim::us(5));
@@ -148,7 +176,7 @@ void Communicator::put(int peer, std::uint64_t remote_va,
     const std::uint32_t len = std::min(chunk, bytes - off);
     c.rdma_write(remote_va + off, local_va + off, len);
   }
-  counters_.add("coll_bytes_put", bytes);
+  counters_.add(kCtrBytesPut, bytes);
 }
 
 void Communicator::local_copy(std::uint64_t dst_va, std::uint64_t src_va,
@@ -180,21 +208,27 @@ void Communicator::combine(std::uint64_t acc_va, std::uint64_t in_va,
   }
   const std::uint64_t bytes = std::uint64_t{count} * dtype_bytes(dt);
   ep_.compute(sim::ns_d(config().combine_ns_per_byte * bytes));
-  counters_.add("coll_combine_bytes", bytes);
+  counters_.add(kCtrCombineBytes, bytes);
+}
+
+trace::SpanContext Communicator::begin_op() {
+  trace::TraceRecorder* rec = ep_.cluster().tracer();
+  return rec != nullptr ? rec->new_root() : trace::SpanContext{};
 }
 
 void Communicator::trace_op(sim::Time t0, CollKind kind, CollAlgo algo,
-                            std::uint64_t bytes) {
+                            std::uint64_t bytes,
+                            const trace::SpanContext& ctx) {
   if (trace::TraceRecorder* rec = ep_.cluster().tracer()) {
     const std::uint64_t a = (static_cast<std::uint64_t>(kind) << 8) |
                             static_cast<std::uint64_t>(algo);
     rec->record_span(t0, ep_.cluster().sim().now() - t0,
-                     trace::EventType::kCollOp, rank_, -1, -1, a, bytes);
+                     trace::EventType::kCollOp, rank_, -1, -1, a, bytes, ctx);
   }
 }
 
 void Communicator::trace_round(int round, std::uint64_t bytes) {
-  counters_.add("coll_rounds");
+  counters_.add(kCtrRounds);
   if (trace::TraceRecorder* rec = ep_.cluster().tracer()) {
     rec->record(ep_.cluster().sim().now(), trace::EventType::kCollRound, rank_,
                 -1, -1, static_cast<std::uint64_t>(round), bytes);
@@ -207,6 +241,8 @@ void Communicator::trace_round(int round, std::uint64_t bytes) {
 
 void Communicator::barrier() {
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   if (size_ > 1) {
     if (config().barrier_algo == CollAlgo::kLinear) {
       barrier_linear();
@@ -214,8 +250,8 @@ void Communicator::barrier() {
       barrier_dissemination();
     }
   }
-  counters_.add("coll_barriers");
-  trace_op(t0, CollKind::kBarrier, config().barrier_algo, 0);
+  counters_.add(kCtrBarriers);
+  trace_op(t0, CollKind::kBarrier, config().barrier_algo, 0, ctx);
 }
 
 // Centralized fan-in/fan-out through rank 0: O(N) serial signals at the
@@ -254,6 +290,8 @@ void Communicator::barrier_dissemination() {
 void Communicator::broadcast(std::uint64_t va, std::uint32_t bytes, int root) {
   assert(root >= 0 && root < size_);
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   if (size_ > 1 && bytes > 0) {
     if (config().broadcast_algo == CollAlgo::kLinear) {
       broadcast_linear(va, bytes, root);
@@ -261,8 +299,8 @@ void Communicator::broadcast(std::uint64_t va, std::uint32_t bytes, int root) {
       broadcast_binomial(va, bytes, root);
     }
   }
-  counters_.add("coll_broadcasts");
-  trace_op(t0, CollKind::kBroadcast, config().broadcast_algo, bytes);
+  counters_.add(kCtrBroadcasts);
+  trace_op(t0, CollKind::kBroadcast, config().broadcast_algo, bytes, ctx);
 }
 
 void Communicator::broadcast_linear(std::uint64_t va, std::uint32_t bytes,
@@ -312,6 +350,8 @@ void Communicator::reduce(std::uint64_t va, std::uint32_t count, DType dt,
   assert(bytes <= domain_.config().max_data_bytes &&
          "reduce payload exceeds CollConfig::max_data_bytes");
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   if (size_ > 1 && count > 0) {
     if (config().reduce_algo == CollAlgo::kLinear) {
       reduce_linear(va, count, dt, op, root);
@@ -319,8 +359,8 @@ void Communicator::reduce(std::uint64_t va, std::uint32_t count, DType dt,
       reduce_tree(va, count, dt, op, root);
     }
   }
-  counters_.add("coll_reduces");
-  trace_op(t0, CollKind::kReduce, config().reduce_algo, bytes);
+  counters_.add(kCtrReduces);
+  trace_op(t0, CollKind::kReduce, config().reduce_algo, bytes, ctx);
 }
 
 // Collect one peer's contribution (its symmetric contrib buffer) into the
@@ -403,6 +443,8 @@ void Communicator::all_reduce(std::uint64_t va, std::uint32_t count, DType dt,
                               ReduceOp op) {
   const std::uint64_t bytes = std::uint64_t{count} * dtype_bytes(dt);
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   if (size_ > 1 && count > 0) {
     switch (config().all_reduce_algo) {
       case CollAlgo::kRing:
@@ -418,8 +460,8 @@ void Communicator::all_reduce(std::uint64_t va, std::uint32_t count, DType dt,
         break;
     }
   }
-  counters_.add("coll_all_reduces");
-  trace_op(t0, CollKind::kAllReduce, config().all_reduce_algo, bytes);
+  counters_.add(kCtrAllReduces);
+  trace_op(t0, CollKind::kAllReduce, config().all_reduce_algo, bytes, ctx);
 }
 
 // Ring all-reduce (bandwidth-optimal: each rank moves 2*(n-1)/n of the
@@ -502,14 +544,16 @@ void Communicator::all_reduce_ring(std::uint64_t va, std::uint32_t count,
 void Communicator::all_to_all(std::uint64_t send_va, std::uint64_t recv_va,
                               std::uint32_t block_bytes) {
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   // Uniform counts: the packed-by-rank displacements of exchange_blocks
   // reduce to d * block_bytes, the fixed-block layout.
   std::vector<std::uint32_t> matrix(
       static_cast<std::size_t>(size_) * size_, block_bytes);
   exchange_blocks(send_va, recv_va, matrix);
-  counters_.add("coll_all_to_alls");
+  counters_.add(kCtrAllToAlls);
   trace_op(t0, CollKind::kAllToAll, config().all_to_all_algo,
-           std::uint64_t{block_bytes} * size_);
+           std::uint64_t{block_bytes} * size_, ctx);
 }
 
 std::vector<std::uint32_t> Communicator::all_to_all_v(
@@ -517,12 +561,14 @@ std::vector<std::uint32_t> Communicator::all_to_all_v(
     const std::vector<std::uint32_t>& send_bytes) {
   assert(static_cast<int>(send_bytes.size()) == size_);
   const sim::Time t0 = ep_.cluster().sim().now();
+  const trace::SpanContext ctx = begin_op();
+  const trace::SpanScope scope(ctx);
   std::vector<std::uint32_t> matrix = exchange_counts(send_bytes);
   exchange_blocks(send_va, recv_va, matrix);
   std::uint64_t total = 0;
   for (std::uint32_t b : send_bytes) total += b;
-  counters_.add("coll_all_to_alls");
-  trace_op(t0, CollKind::kAllToAllV, config().all_to_all_algo, total);
+  counters_.add(kCtrAllToAlls);
+  trace_op(t0, CollKind::kAllToAllV, config().all_to_all_algo, total, ctx);
   return matrix;
 }
 

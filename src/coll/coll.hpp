@@ -243,7 +243,12 @@ class Communicator {
   std::vector<std::uint32_t> exchange_counts(
       const std::vector<std::uint32_t>& mine);
 
-  void trace_op(sim::Time t0, CollKind kind, CollAlgo algo, std::uint64_t bytes);
+  /// Allocate the root span context for one collective ({} when tracing is
+  /// off). Held in a SpanScope for the call's duration so every put/signal
+  /// the collective issues stitches under it.
+  trace::SpanContext begin_op();
+  void trace_op(sim::Time t0, CollKind kind, CollAlgo algo, std::uint64_t bytes,
+                const trace::SpanContext& ctx = {});
   void trace_round(int round, std::uint64_t bytes);
 
   CollDomain& domain_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
+#include "stats/json.hpp"
 #include "trace/export.hpp"
 
 namespace multiedge {
@@ -235,11 +238,45 @@ Cluster::Cluster(ClusterConfig config) : cfg_(std::move(config)) {
     nodes_.push_back(std::move(ns));
   }
 
-  if (cfg_.trace.enabled) setup_tracing();
+  setup_rail_health();
+  // First-failure black box: the moment any node's invariant checker records
+  // a violation, dump the flight-recorder state (no-op when neither tracing
+  // nor the flight recorder is configured).
+  for (auto& ns : nodes_) {
+    if (auto* ck = ns->engine->checker()) {
+      ck->set_on_violation([this](const std::string& v) {
+        trigger_postmortem("invariant violation: " + v);
+      });
+    }
+  }
+
+  if (cfg_.trace.enabled) {
+    setup_tracing();
+  } else if (cfg_.trace.flight_recorder) {
+    setup_flight_recorder();
+  }
 }
 
-void Cluster::setup_tracing() {
-  tracer_ = std::make_unique<trace::TraceRecorder>(cfg_.trace.ring_capacity);
+void Cluster::setup_rail_health() {
+  const int n = cfg_.topology.num_nodes;
+  const int rails = cfg_.topology.rails;
+  rail_health_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<trace::RailHealth*> raw;
+    for (int r = 0; r < rails; ++r) {
+      rail_health_[i].push_back(std::make_unique<trace::RailHealth>());
+      trace::RailHealth* rh = rail_health_[i].back().get();
+      // Egress view of (node, rail): the NIC samples ring depth, the uplink
+      // channel reports wire faults, the engine charges retransmissions.
+      network_->nic(i, r).set_rail_health(rh);
+      network_->uplink(i, r).set_rail_health(rh);
+      raw.push_back(rh);
+    }
+    nodes_[i]->engine->set_rail_health(std::move(raw));
+  }
+}
+
+void Cluster::attach_tracer_hooks() {
   trace::TraceRecorder* t = tracer_.get();
   const int n = cfg_.topology.num_nodes;
   const int rails = cfg_.topology.rails;
@@ -252,8 +289,24 @@ void Cluster::setup_tracing() {
       network_->downlink(i, r).set_tracer(t, i, r);
     }
   }
+}
+
+void Cluster::setup_flight_recorder() {
+  // Black-box mode: the same hooks feed a much smaller ring and no periodic
+  // samplers run — cheap enough to leave on in stress/CI runs, and the last
+  // N events are exactly what a postmortem needs.
+  tracer_ =
+      std::make_unique<trace::TraceRecorder>(cfg_.trace.flight_ring_capacity);
+  attach_tracer_hooks();
+}
+
+void Cluster::setup_tracing() {
+  tracer_ = std::make_unique<trace::TraceRecorder>(cfg_.trace.ring_capacity);
+  attach_tracer_hooks();
 
   if (cfg_.trace.sample_interval <= 0) return;
+  const int n = cfg_.topology.num_nodes;
+  const int rails = cfg_.topology.rails;
   for (int i = 0; i < n; ++i) {
     const std::string p = "n" + std::to_string(i) + ".";
     series_.push_back(
@@ -302,6 +355,110 @@ void Cluster::write_trace(std::ostream& os) const {
   series.reserve(series_.size());
   for (const auto& s : series_) series.push_back(s.get());
   trace::write_chrome_trace(os, *tracer_, series);
+}
+
+void Cluster::write_cluster_health(std::ostream& os) const {
+  const sim::Time now = sim_.now();
+  os << "{\"sim_time_ps\":" << now << ",\"nodes\":[";
+  for (int i = 0; i < num_nodes(); ++i) {
+    os << (i ? "," : "") << "\n  {\"node\":" << i << ",\"rails\":[";
+    for (std::size_t r = 0; r < rail_health_[i].size(); ++r) {
+      os << (r ? "," : "")
+         << trace::RailHealth::to_json(rail_health_[i][r]->snapshot(now));
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+void Cluster::add_postmortem_provider(std::string name,
+                                      std::function<std::string()> provider) {
+  postmortem_providers_.emplace_back(std::move(name), std::move(provider));
+}
+
+void Cluster::write_postmortem(std::ostream& os,
+                               const std::string& reason) const {
+  const sim::Time now = sim_.now();
+  os << "{\n  \"reason\": \"" << stats::json::escape(reason) << "\",\n";
+  os << "  \"sim_time_ps\": " << now << ",\n";
+
+  // Last-N events from the black-box ring, oldest first.
+  os << "  \"events\": [";
+  bool first = true;
+  if (tracer_) {
+    for (const trace::Event& e : tracer_->events()) {
+      os << (first ? "" : ",") << "\n    {\"ts\":" << e.ts << ",\"type\":\""
+         << trace::event_name(e.type) << "\",\"node\":" << e.node
+         << ",\"rail\":" << e.rail << ",\"conn\":" << e.conn << ",\"a\":" << e.a
+         << ",\"b\":" << e.b;
+      if (e.dur > 0) os << ",\"dur\":" << e.dur;
+      if (e.trace_id != 0) {
+        os << ",\"trace\":" << e.trace_id << ",\"span\":" << e.span_id
+           << ",\"parent\":" << e.parent_span;
+      }
+      os << "}";
+      first = false;
+    }
+  }
+  os << "\n  ],\n";
+
+  stats::Counters agg;
+  for (const auto& ns : nodes_) agg.merge(ns->engine->aggregate_counters());
+  os << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, v] : agg.all()) {
+    os << (first ? "" : ",") << "\n    \"" << stats::json::escape(name)
+       << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n";
+
+  os << "  \"rail_health\": {";
+  for (int i = 0; i < num_nodes(); ++i) {
+    os << (i ? "," : "") << "\n    \"node" << i << "\": [";
+    for (std::size_t r = 0; r < rail_health_[i].size(); ++r) {
+      os << (r ? "," : "")
+         << trace::RailHealth::to_json(rail_health_[i][r]->snapshot(now));
+    }
+    os << "]";
+  }
+  os << "\n  },\n";
+
+  os << "  \"invariant_violations\": [";
+  first = true;
+  for (const std::string& v : invariant_violations()) {
+    os << (first ? "" : ",") << "\n    \"" << stats::json::escape(v) << "\"";
+    first = false;
+  }
+  os << "\n  ]";
+
+  // Subsystem sections (e.g. the membership view) registered at setup time.
+  for (const auto& [name, provider] : postmortem_providers_) {
+    os << ",\n  \"" << stats::json::escape(name) << "\": " << provider();
+  }
+  os << "\n}\n";
+}
+
+std::string Cluster::trigger_postmortem(const std::string& reason) {
+  // First failure wins: a broken invariant usually cascades, and the ring
+  // right after the first trip is the interesting one.
+  if (postmortem_written_) return "";
+  if (!cfg_.trace.flight_recorder && !cfg_.trace.enabled) return "";
+  postmortem_written_ = true;
+
+  std::string path = cfg_.trace.postmortem_path;
+  if (path.empty()) {
+    // Several clusters can live in one test binary; number the dumps
+    // process-wide so they never clobber each other.
+    static int seq = 0;
+    const char* dir = std::getenv("MULTIEDGE_POSTMORTEM_DIR");
+    path = (dir != nullptr ? std::string(dir) : std::string(".")) +
+           "/multiedge-postmortem-" + std::to_string(seq++) + ".json";
+  }
+  std::ofstream os(path);
+  if (!os) return "";
+  write_postmortem(os, reason);
+  return path;
 }
 
 Cluster::~Cluster() {

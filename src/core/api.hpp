@@ -35,6 +35,7 @@
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "trace/rail_health.hpp"
 #include "trace/timeseries.hpp"
 #include "trace/trace.hpp"
 
@@ -294,6 +295,35 @@ class Cluster {
   /// run. No-op if tracing is off.
   void write_trace(std::ostream& os) const;
 
+  // --- rail-health telemetry (always on; see trace/rail_health.hpp) ---
+  /// The egress health aggregator of (node, rail): fed by the node's NIC,
+  /// its uplink channel's fault model, and the protocol's retransmissions.
+  trace::RailHealth& rail_health(int node, int rail) {
+    return *rail_health_[node][rail];
+  }
+  const trace::RailHealth& rail_health(int node, int rail) const {
+    return *rail_health_[node][rail];
+  }
+  /// One cluster-health JSON document: every node's per-rail snapshot at
+  /// the current simulated time, with the scheduler-facing health score.
+  void write_cluster_health(std::ostream& os) const;
+
+  // --- flight recorder / postmortem (ClusterConfig::trace.flight_recorder) ---
+  /// Register an extra postmortem section (`"name": <json value>`); called
+  /// by subsystems that own state worth dumping (membership view, ...).
+  void add_postmortem_provider(std::string name,
+                               std::function<std::string()> provider);
+  /// Dump the black-box state as JSON: trigger reason, last-N trace events,
+  /// aggregated counters, rail health, provider sections, and any recorded
+  /// invariant violations.
+  void write_postmortem(std::ostream& os, const std::string& reason) const;
+  /// First-failure hook: writes one postmortem file per cluster (later
+  /// triggers are ignored) when the flight recorder or full tracing is on.
+  /// Destination: TraceConfig::postmortem_path, else
+  /// $MULTIEDGE_POSTMORTEM_DIR/multiedge-postmortem-<n>.json, else the
+  /// working directory. Returns the path written ("" if suppressed/failed).
+  std::string trigger_postmortem(const std::string& reason);
+
  private:
   struct NodeState {
     std::unique_ptr<proto::MemorySpace> memory;
@@ -307,6 +337,9 @@ class Cluster {
   };
 
   void setup_tracing();
+  void setup_flight_recorder();
+  void attach_tracer_hooks();
+  void setup_rail_health();
   void sample_time_series();
 
   ClusterConfig cfg_;
@@ -319,6 +352,12 @@ class Cluster {
   // Per node: [window_occupancy, outstanding_ops, rail0.tx_q, rail0.rx_q, ...]
   std::vector<std::unique_ptr<trace::TimeSeries>> series_;
   std::unique_ptr<sim::Timer> sample_timer_;
+
+  // rail_health_[node][rail]; always allocated (pure observers, no config).
+  std::vector<std::vector<std::unique_ptr<trace::RailHealth>>> rail_health_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      postmortem_providers_;
+  bool postmortem_written_ = false;
 };
 
 }  // namespace multiedge

@@ -178,6 +178,12 @@ void Dsm::fetch_batch(std::uint32_t first, std::uint32_t last) {
   // the fault handler's prefetch for contiguous accesses (one trap, one
   // batch of pipelined remote reads instead of one stall per page).
   std::vector<std::pair<std::uint32_t, OpHandle>> fetches;
+  // Root span for the fault batch: the remote page reads issued below
+  // stitch under it.
+  trace::TraceRecorder* tracer = ep_.cluster().tracer();
+  const trace::SpanContext ctx =
+      tracer != nullptr ? tracer->new_root() : trace::SpanContext{};
+  const trace::SpanScope scope(ctx);
   for (std::uint32_t p = first; p <= last; ++p) {
     if (home_of(p) == rank_) continue;  // home copy is always current
     if (pages_[p].state != PageState::kInvalid) continue;
@@ -200,7 +206,7 @@ void Dsm::fetch_batch(std::uint32_t first, std::uint32_t last) {
     if (auto* t = ep_.cluster().tracer()) {
       t->record_span(t0, ep_.cluster().sim().now() - t0,
                      trace::EventType::kDsmPageFetch, rank_, -1, -1, p,
-                     cfg.page_bytes);
+                     cfg.page_bytes, ctx);
     }
   }
   stats_.data_wait += ep_.cluster().sim().now() - t0;
@@ -232,6 +238,13 @@ NoticeSection Dsm::flush_dirty(int fence_peer) {
   const DsmConfig& cfg = system_.cfg_;
   NoticeSection sec;
   sec.writer = static_cast<std::uint16_t>(rank_);
+
+  // Root span for the release flush: every diff write below stitches
+  // under it.
+  trace::TraceRecorder* tracer = ep_.cluster().tracer();
+  const trace::SpanContext ctx =
+      tracer != nullptr ? tracer->new_root() : trace::SpanContext{};
+  const trace::SpanScope scope(ctx);
 
   std::vector<OpHandle> waits;
   for (std::uint32_t page : dirty_pages_) {
@@ -294,7 +307,7 @@ NoticeSection Dsm::flush_dirty(int fence_peer) {
     if (auto* t = ep_.cluster().tracer()) {
       t->record_span(flush_t0, ep_.cluster().sim().now() - flush_t0,
                      trace::EventType::kDsmDiffFlush, rank_, -1, -1, page,
-                     stats_.diff_bytes - diff_bytes_before);
+                     stats_.diff_bytes - diff_bytes_before, ctx);
     }
     p.twin.reset();
     p.state = p.stale_while_dirty ? PageState::kInvalid : PageState::kReadOnly;

@@ -6,10 +6,67 @@
 
 #include "proto/wire.hpp"
 #include "sim/process.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::kv {
 
 namespace {
+
+// Interned counter handles: one registry lookup at startup, plain vector
+// adds on the data path.
+const stats::CounterId kCtrLocalOps =
+    stats::CounterRegistry::intern("kv_local_ops");
+const stats::CounterId kCtrServerRequests =
+    stats::CounterRegistry::intern("kv_server_requests");
+const stats::CounterId kCtrServerWrongPrimary =
+    stats::CounterRegistry::intern("kv_server_wrong_primary");
+const stats::CounterId kCtrDupRequests =
+    stats::CounterRegistry::intern("kv_dup_requests");
+const stats::CounterId kCtrDeletesApplied =
+    stats::CounterRegistry::intern("kv_deletes_applied");
+const stats::CounterId kCtrNoSpace =
+    stats::CounterRegistry::intern("kv_no_space");
+const stats::CounterId kCtrPutsApplied =
+    stats::CounterRegistry::intern("kv_puts_applied");
+const stats::CounterId kCtrReplSent =
+    stats::CounterRegistry::intern("kv_repl_sent");
+const stats::CounterId kCtrReplAcked =
+    stats::CounterRegistry::intern("kv_repl_acked");
+const stats::CounterId kCtrReplAbandoned =
+    stats::CounterRegistry::intern("kv_repl_abandoned");
+const stats::CounterId kCtrReplReceived =
+    stats::CounterRegistry::intern("kv_repl_received");
+const stats::CounterId kCtrReplApplied =
+    stats::CounterRegistry::intern("kv_repl_applied");
+const stats::CounterId kCtrReplDups =
+    stats::CounterRegistry::intern("kv_repl_dups");
+const stats::CounterId kCtrResponses =
+    stats::CounterRegistry::intern("kv_responses");
+const stats::CounterId kCtrGets = stats::CounterRegistry::intern("kv_gets");
+const stats::CounterId kCtrPuts = stats::CounterRegistry::intern("kv_puts");
+const stats::CounterId kCtrDels = stats::CounterRegistry::intern("kv_dels");
+const stats::CounterId kCtrRpcRetries =
+    stats::CounterRegistry::intern("kv_rpc_retries");
+const stats::CounterId kCtrWrongPrimary =
+    stats::CounterRegistry::intern("kv_wrong_primary");
+const stats::CounterId kCtrRpcSent =
+    stats::CounterRegistry::intern("kv_rpc_sent");
+const stats::CounterId kCtrStaleResponses =
+    stats::CounterRegistry::intern("kv_stale_responses");
+const stats::CounterId kCtrRpcTimeouts =
+    stats::CounterRegistry::intern("kv_rpc_timeouts");
+const stats::CounterId kCtrGetRetries =
+    stats::CounterRegistry::intern("kv_get_retries");
+const stats::CounterId kCtrGetLocal =
+    stats::CounterRegistry::intern("kv_get_local");
+const stats::CounterId kCtrGetTimeouts =
+    stats::CounterRegistry::intern("kv_get_timeouts");
+const stats::CounterId kCtrGetTorn =
+    stats::CounterRegistry::intern("kv_get_torn");
+const stats::CounterId kCtrGetBufStalls =
+    stats::CounterRegistry::intern("kv_get_buf_stalls");
+const stats::CounterId kCtrPeersMarkedDown =
+    stats::CounterRegistry::intern("kv_peers_marked_down");
 
 constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63) & ~63ull; }
 
@@ -87,6 +144,35 @@ bool wait_op(Endpoint& ep, const OpHandle& h, sim::Time timeout,
   }
   return true;
 }
+
+/// Root span for one client operation (kKvOp). Alive across the whole retry
+/// loop so every attempt's request write adopts it; the destructor records
+/// the span covering the full client-observed latency.
+class KvOpSpan {
+ public:
+  KvOpSpan(Cluster& cluster, int node, std::uint32_t op)
+      : cluster_(cluster),
+        node_(node),
+        op_(op),
+        start_(cluster.sim().now()),
+        root_(cluster.tracer() != nullptr ? cluster.tracer()->new_root()
+                                          : trace::SpanContext{}),
+        scope_(root_) {}
+  ~KvOpSpan() {
+    trace::TraceRecorder* t = cluster_.tracer();
+    if (t == nullptr || !root_.active()) return;
+    t->record_span(start_, cluster_.sim().now() - start_,
+                   trace::EventType::kKvOp, node_, -1, -1, op_, 0, root_);
+  }
+
+ private:
+  Cluster& cluster_;
+  int node_;
+  std::uint32_t op_;
+  sim::Time start_;
+  trace::SpanContext root_;
+  trace::SpanScope scope_;
+};
 
 void check_sizes(const KvConfig& cfg, std::string_view key,
                  std::string_view value) {
@@ -223,7 +309,7 @@ Status Server::execute_local(Endpoint& ep, std::uint32_t op,
   lock_.lock();
   ApplyResult r = dispatch(ep, op, key, value, seq, client_node, cslot);
   lock_.unlock();
-  counters_.add("kv_local_ops");
+  counters_.add(kCtrLocalOps);
   if (out) *out = std::move(r.value);
   return r.status;
 }
@@ -240,10 +326,24 @@ void Server::handle_request(Endpoint& ep, const Notification& n) {
       reinterpret_cast<const char*>(mem.as<std::byte>(n.va + sizeof(ReqHeader)));
   const std::string key(body, h.key_len);
   const std::string value(body + h.key_len, h.val_len);
-  counters_.add("kv_server_requests");
-  const ApplyResult r =
-      dispatch(ep, h.op, key, value, h.seq, h.client_node, h.cslot);
-  respond(ep, h.client_node, h.cslot, h.seq, r.status, r.value);
+  counters_.add(kCtrServerRequests);
+  // Handler span: child of the request's receive span, parent of the
+  // replication and response writes issued while the scope is live.
+  trace::TraceRecorder* tr = sys_.cluster().tracer();
+  trace::SpanContext hctx;
+  if (tr != nullptr && n.ctx.active()) hctx = tr->new_child(n.ctx);
+  const sim::Time h0 = sys_.cluster().sim().now();
+  {
+    const trace::SpanScope scope(hctx);
+    const ApplyResult r =
+        dispatch(ep, h.op, key, value, h.seq, h.client_node, h.cslot);
+    respond(ep, h.client_node, h.cslot, h.seq, r.status, r.value);
+  }
+  if (hctx.active()) {
+    tr->record_span(h0, sys_.cluster().sim().now() - h0,
+                    trace::EventType::kKvHandler, node_, -1, -1, h.op, h.seq,
+                    hctx, n.ctx.span_id);
+  }
 }
 
 Server::ApplyResult Server::dispatch(Endpoint& ep, std::uint32_t op,
@@ -256,7 +356,7 @@ Server::ApplyResult Server::dispatch(Endpoint& ep, std::uint32_t op,
   // else bounces the client back to re-resolve. Views converge within a
   // heartbeat timeout, and the seq table keeps retried writes exactly-once.
   if (sys_.ring().primary_of(p, sys_.detector(node_).down_map()) != node_) {
-    counters_.add("kv_server_wrong_primary");
+    counters_.add(kCtrServerWrongPrimary);
     r.status = Status::kWrongPrimary;
     return r;
   }
@@ -275,7 +375,7 @@ Server::ApplyResult Server::dispatch(Endpoint& ep, std::uint32_t op,
     // now-dead primary and learned here through replication). Never
     // re-apply; do re-replicate a successful one, so a backup the dead
     // primary missed converges (backups dedupe by the same table).
-    counters_.add("kv_dup_requests");
+    counters_.add(kCtrDupRequests);
     r.status = seq == prev_seq ? static_cast<Status>(*tbl & 0xff) : Status::kOk;
     if (seq == prev_seq && r.status == Status::kOk) {
       replicate(ep, op, p, key, value, seq, client_node, cslot);
@@ -321,7 +421,7 @@ Status Server::apply(Endpoint& ep, std::uint32_t op, int partition,
     free_slots_[partition].push_back(static_cast<std::uint32_t>(
         (sva - dom.slot_va(partition, 0)) / dom.record_stride()));
     ep.compute(sim::ns(100));
-    counters_.add("kv_deletes_applied");
+    counters_.add(kCtrDeletesApplied);
     return Status::kOk;
   }
 
@@ -332,12 +432,12 @@ Status Server::apply(Endpoint& ep, std::uint32_t op, int partition,
     sva = e[1 + idx];
   } else {
     if (e[0] >= cfg.chain_slots) {
-      counters_.add("kv_no_space");
+      counters_.add(kCtrNoSpace);
       return Status::kNoSpace;
     }
     const std::uint32_t slot = alloc_slot(partition);
     if (slot == UINT32_MAX) {
-      counters_.add("kv_no_space");
+      counters_.add(kCtrNoSpace);
       return Status::kNoSpace;
     }
     sva = dom.slot_va(partition, slot);
@@ -364,7 +464,7 @@ Status Server::apply(Endpoint& ep, std::uint32_t op, int partition,
     e[1 + e[0]] = sva;
     e[0] += 1;
   }
-  counters_.add("kv_puts_applied");
+  counters_.add(kCtrPutsApplied);
   return Status::kOk;
 }
 
@@ -425,7 +525,7 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
     Connection& cn = sys_.conn_to(ep, t);
     cn.rdma_write(dom.repl_slot_va(node_), build, bytes, flags);
   }
-  counters_.add("kv_repl_sent", targets.size());
+  counters_.add(kCtrReplSent, targets.size());
 
   // Wait for every live backup's ack (its per-primary ack word reaching this
   // generation). While waiting, keep servicing INCOMING replication traffic —
@@ -440,10 +540,10 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
       if (acked[i]) continue;
       if (*mem.as<std::uint64_t>(dom.ack_slot_va(targets[i])) >= gen) {
         acked[i] = 1;
-        counters_.add("kv_repl_acked");
+        counters_.add(kCtrReplAcked);
       } else if (det.is_down(targets[i])) {
         acked[i] = 1;  // pruned: the detector gave up on this backup
-        counters_.add("kv_repl_abandoned");
+        counters_.add(kCtrReplAbandoned);
       } else {
         all = false;
       }
@@ -464,7 +564,14 @@ void Server::handle_repl(Endpoint& ep, const Notification& n) {
   const ReqHeader* h = &h_copy;
   const int src = n.src_node;
   const int p = static_cast<int>(h->partition);
-  counters_.add("kv_repl_received");
+  counters_.add(kCtrReplReceived);
+  // Replication span: child of the replication write's receive span; the
+  // ack write back to the primary is issued inside it.
+  trace::TraceRecorder* tr = sys_.cluster().tracer();
+  trace::SpanContext rctx;
+  if (tr != nullptr && n.ctx.active()) rctx = tr->new_child(n.ctx);
+  const sim::Time r0 = sys_.cluster().sim().now();
+  const trace::SpanScope scope(rctx);
   const auto* body =
       reinterpret_cast<const char*>(mem.as<std::byte>(n.va + sizeof(ReqHeader)));
   const std::string key(body, h->key_len);
@@ -482,9 +589,9 @@ void Server::handle_repl(Endpoint& ep, const Notification& n) {
       const Status st = apply(ep, h->op, p, key, value, h->seq,
                               /*pause=*/false);
       *tbl = (h->seq << 8) | static_cast<std::uint64_t>(st);
-      counters_.add("kv_repl_applied");
+      counters_.add(kCtrReplApplied);
     } else {
-      counters_.add("kv_repl_dups");
+      counters_.add(kCtrReplDups);
     }
   }
   // Ack unconditionally (a pure one-sided write of the generation number;
@@ -497,6 +604,11 @@ void Server::handle_repl(Endpoint& ep, const Notification& n) {
   // newer generation, wedging the primary's ack wait.
   sys_.conn_to(ep, src).rdma_write(dom.ack_slot_va(node_), src_slot, 8,
                                    kOpFlagUrgent | kOpFlagBackwardFence);
+  if (rctx.active()) {
+    tr->record_span(r0, sys_.cluster().sim().now() - r0,
+                    trace::EventType::kKvRepl, node_, -1, -1, h->op, h->seq,
+                    rctx, n.ctx.span_id);
+  }
 }
 
 void Server::respond(Endpoint& ep, int client_node, int cslot,
@@ -519,7 +631,7 @@ void Server::respond(Endpoint& ep, int client_node, int cslot,
       .rdma_write(dom.resp_slot_va(cslot, node_), build,
                   static_cast<std::uint32_t>(sizeof(RespHeader) + value.size()),
                   flags);
-  counters_.add("kv_responses");
+  counters_.add(kCtrResponses);
 }
 
 int Server::find_in_bucket(int partition, std::uint64_t bucket_entry,
@@ -560,32 +672,35 @@ Client::Client(System& sys, Endpoint& ep, int cslot)
 
 Status Client::get(std::string_view key, std::string* out) {
   check_sizes(sys_.config(), key, {});
+  const KvOpSpan span(sys_.cluster(), node_, kOpGet);
   const sim::Time t0 = sys_.cluster().sim().now();
   const Status st = sys_.config().one_sided_get ? one_sided_get(key, out)
                                                 : rpc(kOpGet, key, {}, out);
   get_hist_.record(
       static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
-  counters_.add("kv_gets");
+  counters_.add(kCtrGets);
   return st;
 }
 
 Status Client::put(std::string_view key, std::string_view value) {
   check_sizes(sys_.config(), key, value);
+  const KvOpSpan span(sys_.cluster(), node_, kOpPut);
   const sim::Time t0 = sys_.cluster().sim().now();
   const Status st = rpc(kOpPut, key, value, nullptr);
   put_hist_.record(
       static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
-  counters_.add("kv_puts");
+  counters_.add(kCtrPuts);
   return st;
 }
 
 Status Client::del(std::string_view key) {
   check_sizes(sys_.config(), key, {});
+  const KvOpSpan span(sys_.cluster(), node_, kOpDel);
   const sim::Time t0 = sys_.cluster().sim().now();
   const Status st = rpc(kOpDel, key, {}, nullptr);
   put_hist_.record(
       static_cast<std::uint64_t>(sim::to_ns(sys_.cluster().sim().now() - t0)));
-  counters_.add("kv_dels");
+  counters_.add(kCtrDels);
   return st;
 }
 
@@ -601,7 +716,7 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
   const int resp_tag = cfg.resp_tag_base + cslot_;
 
   for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
-    if (attempt) counters_.add("kv_rpc_retries");
+    if (attempt) counters_.add(kCtrRpcRetries);
     const int primary =
         sys_.ring().primary_of(p, sys_.detector(node_).down_map());
     if (primary < 0) return Status::kUnavailable;
@@ -610,7 +725,7 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
       const Status st = sys_.server(node_).execute_local(
           ep_, op, key, value, seq, node_, cslot_, &local);
       if (st == Status::kWrongPrimary) {
-        counters_.add("kv_wrong_primary");
+        counters_.add(kCtrWrongPrimary);
         idle_wait(cfg.heartbeat_period);  // let the detectors converge
         continue;
       }
@@ -637,7 +752,7 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
                                                value.size()),
                     kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
                         op_tag_flags(cfg.req_tag));
-    counters_.add("kv_rpc_sent");
+    counters_.add(kCtrRpcSent);
 
     // Await the matching response; a resend can race a late original, so
     // stale-seq responses are drained and dropped.
@@ -649,7 +764,7 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
       while (ep_.poll_notification(&n, resp_tag)) {
         const auto* rh = mem.as<RespHeader>(n.va);
         if (rh->seq != seq) {
-          counters_.add("kv_stale_responses");
+          counters_.add(kCtrStaleResponses);
           continue;
         }
         st = static_cast<Status>(rh->status);
@@ -667,10 +782,10 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
     }
     if (got && !wrong_primary) return st;
     if (wrong_primary) {
-      counters_.add("kv_wrong_primary");
+      counters_.add(kCtrWrongPrimary);
       idle_wait(cfg.heartbeat_period);
     } else {
-      counters_.add("kv_rpc_timeouts");  // re-resolve (maybe re-route) + resend
+      counters_.add(kCtrRpcTimeouts);  // re-resolve (maybe re-route) + resend
     }
   }
   return Status::kUnavailable;
@@ -692,7 +807,7 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
   const std::uint16_t rflags = kOpFlagSolicit | kOpFlagUrgent;
 
   for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
-    if (attempt) counters_.add("kv_get_retries");
+    if (attempt) counters_.add(kCtrGetRetries);
     const int primary =
         sys_.ring().primary_of(p, sys_.detector(node_).down_map());
     if (primary < 0) return Status::kUnavailable;
@@ -703,11 +818,11 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
       const Status st = sys_.server(node_).execute_local(
           ep_, kOpGet, key, {}, ++seq_, node_, cslot_, &local);
       if (st == Status::kWrongPrimary) {
-        counters_.add("kv_wrong_primary");
+        counters_.add(kCtrWrongPrimary);
         idle_wait(cfg.heartbeat_period);
         continue;
       }
-      counters_.add("kv_get_local");
+      counters_.add(kCtrGetLocal);
       if (out) *out = std::move(local);
       return st;
     }
@@ -720,13 +835,13 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
     const OpHandle h = c.rdma_read(buf, entry_va, entry_bytes, rflags);
     get_pending_[set] = h;
     if (!wait_op(ep_, h, cfg.get_timeout, cfg.client_poll)) {
-      counters_.add("kv_get_timeouts");
+      counters_.add(kCtrGetTimeouts);
       continue;  // re-resolve: the primary may be on its way down
     }
     const std::uint64_t* e = mem.as<std::uint64_t>(buf);
     const std::uint64_t count = e[0];
     if (count > cfg.chain_slots) {  // not a valid descriptor snapshot
-      counters_.add("kv_get_torn");
+      counters_.add(kCtrGetTorn);
       continue;
     }
     if (count == 0) return Status::kNotFound;
@@ -744,21 +859,21 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
                                    stride});
     }
     if (!sane) {
-      counters_.add("kv_get_torn");
+      counters_.add(kCtrGetTorn);
       continue;
     }
     // Round trip 2: every candidate record in ONE gather read.
     const OpHandle g = c.rdma_gather_read(segs, slab_base, rflags);
     get_pending_[set] = g;
     if (!wait_op(ep_, g, cfg.get_timeout, cfg.client_poll)) {
-      counters_.add("kv_get_timeouts");
+      counters_.add(kCtrGetTimeouts);
       continue;
     }
     const Status st = validate_snapshot(mem.as<std::byte>(buf),
                                         mem.as<std::byte>(buf + entry_pad),
                                         key, out);
     if (st != Status::kWrongPrimary) return st;  // kWrongPrimary = torn here
-    counters_.add("kv_get_torn");
+    counters_.add(kCtrGetTorn);
     idle_wait(cfg.client_poll);  // brief backoff before re-reading
   }
   return Status::kUnavailable;
@@ -771,7 +886,7 @@ int Client::acquire_get_buf() {
     }
     // Every set has a timed-out read still outstanding; the protocol is
     // reliable, so one of them will complete.
-    counters_.add("kv_get_buf_stalls");
+    counters_.add(kCtrGetBufStalls);
     idle_wait(sys_.config().client_poll);
   }
 }
@@ -832,7 +947,7 @@ System::System(Cluster& cluster, KvConfig cfg, member::Service* membership)
       [this](int observer, int peer, member::PeerState st, sim::Time) {
         (void)peer;
         if (st == member::PeerState::kDead) {
-          nodes_[observer]->server->counters().add("kv_peers_marked_down");
+          nodes_[observer]->server->counters().add(kCtrPeersMarkedDown);
         }
       });
   const int n = cluster.num_nodes();

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 #include "proto/wire.hpp"
@@ -12,6 +13,43 @@
 namespace multiedge::member {
 
 namespace {
+
+// Interned counter handles: one registry lookup at startup, plain vector
+// adds on the data path.
+const stats::CounterId kCtrMsgsUnroutable =
+    stats::CounterRegistry::intern("member_msgs_unroutable");
+const stats::CounterId kCtrMsgsSent =
+    stats::CounterRegistry::intern("member_msgs_sent");
+const stats::CounterId kCtrMsgsRx =
+    stats::CounterRegistry::intern("member_msgs_rx");
+const stats::CounterId kCtrAcksSent =
+    stats::CounterRegistry::intern("member_acks_sent");
+const stats::CounterId kCtrRelayPings =
+    stats::CounterRegistry::intern("member_relay_pings");
+const stats::CounterId kCtrProbeMsgs =
+    stats::CounterRegistry::intern("member_probe_msgs");
+const stats::CounterId kCtrIndirectRescues =
+    stats::CounterRegistry::intern("member_indirect_rescues");
+const stats::CounterId kCtrMsgsBadType =
+    stats::CounterRegistry::intern("member_msgs_bad_type");
+const stats::CounterId kCtrSuspicionsCleared =
+    stats::CounterRegistry::intern("member_suspicions_cleared");
+const stats::CounterId kCtrRefutes =
+    stats::CounterRegistry::intern("member_refutes");
+const stats::CounterId kCtrSelfDeclaredDead =
+    stats::CounterRegistry::intern("member_self_declared_dead");
+const stats::CounterId kCtrSuspects =
+    stats::CounterRegistry::intern("member_suspects");
+const stats::CounterId kCtrDeadMarks =
+    stats::CounterRegistry::intern("member_dead_marks");
+const stats::CounterId kCtrEagerGossip =
+    stats::CounterRegistry::intern("member_eager_gossip");
+const stats::CounterId kCtrProbesSuppressed =
+    stats::CounterRegistry::intern("member_probes_suppressed");
+const stats::CounterId kCtrPingsSent =
+    stats::CounterRegistry::intern("member_pings_sent");
+const stats::CounterId kCtrPingReqsSent =
+    stats::CounterRegistry::intern("member_ping_reqs_sent");
 
 constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63) & ~63ull; }
 
@@ -49,6 +87,17 @@ static_assert(sizeof(UpdateEntry) == 16);
 /// a blocked fiber burns no CPU; a compute() poll loop would starve the
 /// node's real work).
 void idle_wait(sim::Time t) { sim::Process::current()->delay(t); }
+
+/// Close out one probe round's span (kMemberProbe): a = probed peer,
+/// b = 1 when the round ended with an ack, 0 when it matured into suspicion.
+void record_probe_span(trace::TraceRecorder* tr, sim::Time now, int self,
+                       sim::Time started, const trace::SpanContext& ctx,
+                       int target, bool acked) {
+  if (tr == nullptr || !ctx.active()) return;
+  tr->record_span(started, now - started, trace::EventType::kMemberProbe, self,
+                  -1, -1, static_cast<std::uint64_t>(target), acked ? 1 : 0,
+                  ctx);
+}
 
 }  // namespace
 
@@ -141,6 +190,32 @@ Service::Service(Cluster& cluster, MemberConfig cfg)
       }
     });
   }
+
+  // Postmortem section: every node's membership view at dump time, one
+  // compact string per node ('.' self, 'a' alive, 's' suspect, 'd' dead).
+  cluster_.add_postmortem_provider("membership", [this] {
+    std::ostringstream os;
+    os << "{\"nodes\": [";
+    for (int i = 0; i < num_nodes_; ++i) {
+      const View& v = nodes_[i]->view;
+      os << (i ? "," : "") << "\n    {\"node\": " << i
+         << ", \"num_down\": " << v.num_down() << ", \"view\": \"";
+      for (int p = 0; p < num_nodes_; ++p) {
+        if (p == i) {
+          os << '.';
+        } else {
+          switch (v.state(p)) {
+            case PeerState::kAlive: os << 'a'; break;
+            case PeerState::kSuspect: os << 's'; break;
+            case PeerState::kDead: os << 'd'; break;
+          }
+        }
+      }
+      os << "\"}";
+    }
+    os << "\n  ]}";
+    return os.str();
+  });
 }
 
 stats::Counters Service::aggregate_counters() const {
@@ -176,7 +251,7 @@ void Service::send_msg(NodeCtx& ctx, Endpoint& ep, int dst, std::uint8_t type,
   if (!pc) {
     // Still handshaking (or the peer is gone). Probe logic treats the
     // missing ack like any other loss; gossip rides later messages.
-    ctx.counters.add("member_msgs_unroutable");
+    ctx.counters.add(kCtrMsgsUnroutable);
     return;
   }
   const int self = ctx.view.self();
@@ -232,7 +307,7 @@ void Service::send_msg(NodeCtx& ctx, Endpoint& ep, int dst, std::uint8_t type,
       inbox_slot_va(self, slot), build_va_, bytes,
       kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
           op_tag_flags(cfg_.tag));
-  ctx.counters.add("member_msgs_sent");
+  ctx.counters.add(kCtrMsgsSent);
 }
 
 void Service::handle_msg(NodeCtx& ctx, Endpoint& ep, const Notification& n) {
@@ -245,7 +320,10 @@ void Service::handle_msg(NodeCtx& ctx, Endpoint& ep, const Notification& n) {
   const int m = std::min<int>(h.num_updates, cfg_.max_updates);
   std::memcpy(updates.data(), mem.as<std::byte>(n.va + sizeof(MsgHeader)),
               static_cast<std::size_t>(m) * sizeof(UpdateEntry));
-  ctx.counters.add("member_msgs_rx");
+  ctx.counters.add(kCtrMsgsRx);
+  // Replies issued below (acks, relayed pings) stitch under the incoming
+  // message's receive span, so a full ping-req round renders as one trace.
+  const trace::SpanScope scope(n.ctx);
 
   const int src = h.src;
   // First-hand evidence beats gossip: a message FROM a peer proves it alive
@@ -262,24 +340,27 @@ void Service::handle_msg(NodeCtx& ctx, Endpoint& ep, const Notification& n) {
       // Ack straight to the probing node (h.origin) — for an indirect probe
       // that skips the relay hop on the way back.
       send_msg(ctx, ep, h.origin, kAck, ctx.view.self(), h.origin, h.seq);
-      ctx.counters.add("member_acks_sent");
+      ctx.counters.add(kCtrAcksSent);
       break;
     case kPingReq:
       // Probe h.target on behalf of h.origin; the target acks h.origin.
       send_msg(ctx, ep, h.target, kPing, h.target, h.origin, h.seq);
-      ctx.counters.add("member_relay_pings");
-      ctx.counters.add("member_probe_msgs");
+      ctx.counters.add(kCtrRelayPings);
+      ctx.counters.add(kCtrProbeMsgs);
       break;
     case kAck:
       if (ctx.probe.target == src && h.seq == ctx.probe.seq) {
+        record_probe_span(cluster_.tracer(), cluster_.sim().now(),
+                          ctx.view.self(), ctx.probe.started, ctx.probe.ctx,
+                          ctx.probe.target, /*acked=*/true);
         ctx.probe.target = -1;  // round succeeded
-        if (ctx.probe.indirect) ctx.counters.add("member_indirect_rescues");
+        if (ctx.probe.indirect) ctx.counters.add(kCtrIndirectRescues);
       }
       break;
     case kGossip:
       break;  // updates were applied above; nothing to answer
     default:
-      ctx.counters.add("member_msgs_bad_type");
+      ctx.counters.add(kCtrMsgsBadType);
       break;
   }
 }
@@ -319,7 +400,7 @@ void Service::mark_peer_alive(NodeCtx& ctx, int peer) {
   ctx.suspect_since[peer] = 0;
   --ctx.num_suspects;
   transition(ctx, peer, PeerState::kAlive);
-  ctx.counters.add("member_suspicions_cleared");
+  ctx.counters.add(kCtrSuspicionsCleared);
 }
 
 void Service::apply_update(NodeCtx& ctx, int node, PeerState st,
@@ -332,9 +413,9 @@ void Service::apply_update(NodeCtx& ctx, int node, PeerState st,
     // incarnation; death cannot be refuted (sticky by design).
     if (st == PeerState::kSuspect && inc >= v.incarnation_[self]) {
       v.incarnation_[self] = inc + 1;
-      ctx.counters.add("member_refutes");
+      ctx.counters.add(kCtrRefutes);
     } else if (st == PeerState::kDead) {
-      ctx.counters.add("member_self_declared_dead");
+      ctx.counters.add(kCtrSelfDeclaredDead);
     }
     return;
   }
@@ -350,7 +431,7 @@ void Service::apply_update(NodeCtx& ctx, int node, PeerState st,
           ctx.suspect_since[node] = 0;
           --ctx.num_suspects;
           transition(ctx, node, PeerState::kAlive);
-          ctx.counters.add("member_suspicions_cleared");
+          ctx.counters.add(kCtrSuspicionsCleared);
         }
         enqueue_gossip(ctx, node);  // relay the refutation
       }
@@ -362,7 +443,7 @@ void Service::apply_update(NodeCtx& ctx, int node, PeerState st,
           ctx.suspect_since[node] = cluster_.sim().now();
           ++ctx.num_suspects;
           transition(ctx, node, PeerState::kSuspect);
-          ctx.counters.add("member_suspects");
+          ctx.counters.add(kCtrSuspects);
         }
         enqueue_gossip(ctx, node);
       }
@@ -373,7 +454,7 @@ void Service::apply_update(NodeCtx& ctx, int node, PeerState st,
         --ctx.num_suspects;
       }
       transition(ctx, node, PeerState::kDead);
-      ctx.counters.add("member_dead_marks");
+      ctx.counters.add(kCtrDeadMarks);
       enqueue_gossip(ctx, node);
       // A confirmed death is too important to wait out the next probe tick:
       // push it to indirect_k random live peers right away. Each recipient
@@ -398,7 +479,7 @@ void Service::eager_disseminate(NodeCtx& ctx, Endpoint& ep) {
     cands[i] = cands.back();
     cands.pop_back();
     send_msg(ctx, ep, dst, kGossip, dst, ctx.view.self(), 0);
-    ctx.counters.add("member_eager_gossip");
+    ctx.counters.add(kCtrEagerGossip);
   }
 }
 
@@ -432,7 +513,7 @@ void Service::start_probe(NodeCtx& ctx, Endpoint& ep) {
     // The peer's own frames arrived within the window: provably alive, no
     // dedicated probe needed. This is what keeps a busy cluster's probe
     // traffic near zero.
-    ctx.counters.add("member_probes_suppressed");
+    ctx.counters.add(kCtrProbesSuppressed);
     mark_peer_alive(ctx, target);
     return;
   }
@@ -454,11 +535,19 @@ void Service::start_probe(NodeCtx& ctx, Endpoint& ep) {
     return;
   }
   const std::uint64_t seq = ctx.next_seq++;
-  send_msg(ctx, ep, target, kPing, target, ctx.view.self(), seq);
-  ctx.counters.add("member_pings_sent");
-  ctx.counters.add("member_probe_msgs");
-  ctx.probe = Probe{target, seq,
-                    cluster_.sim().now() + cfg_.ping_timeout, false};
+  // Root span of this probe round; the ping (and any later ping-req
+  // fan-out) adopts it, so the whole round stitches into one trace.
+  trace::TraceRecorder* tr = cluster_.tracer();
+  const trace::SpanContext pctx =
+      tr != nullptr ? tr->new_root() : trace::SpanContext{};
+  {
+    const trace::SpanScope scope(pctx);
+    send_msg(ctx, ep, target, kPing, target, ctx.view.self(), seq);
+  }
+  ctx.counters.add(kCtrPingsSent);
+  ctx.counters.add(kCtrProbeMsgs);
+  ctx.probe = Probe{target, seq, cluster_.sim().now() + cfg_.ping_timeout,
+                    false, cluster_.sim().now(), pctx};
 }
 
 void Service::advance_probe(NodeCtx& ctx, Endpoint& ep) {
@@ -467,10 +556,15 @@ void Service::advance_probe(NodeCtx& ctx, Endpoint& ep) {
   }
   const int target = ctx.probe.target;
   if (passively_fresh(ctx, ep, target)) {
+    record_probe_span(cluster_.tracer(), cluster_.sim().now(),
+                      ctx.view.self(), ctx.probe.started, ctx.probe.ctx,
+                      target, /*acked=*/true);
     ctx.probe.target = -1;  // its frames arrived while we waited
-    ctx.counters.add("member_probes_suppressed");
+    ctx.counters.add(kCtrProbesSuppressed);
     return;
   }
+  // Ping-reqs continue the probe round's span.
+  const trace::SpanScope scope(ctx.probe.ctx);
   if (!ctx.probe.indirect) {
     // Direct ping timed out: ask k random live peers to probe on our
     // behalf (SWIM's ping-req — distinguishes a dead peer from a lossy or
@@ -489,8 +583,8 @@ void Service::advance_probe(NodeCtx& ctx, Endpoint& ep) {
       cands.pop_back();
       send_msg(ctx, ep, helper, kPingReq, target, ctx.view.self(),
                ctx.probe.seq);
-      ctx.counters.add("member_ping_reqs_sent");
-      ctx.counters.add("member_probe_msgs");
+      ctx.counters.add(kCtrPingReqsSent);
+      ctx.counters.add(kCtrProbeMsgs);
       ++sent;
     }
     if (sent > 0) {
@@ -500,6 +594,9 @@ void Service::advance_probe(NodeCtx& ctx, Endpoint& ep) {
     }
   }
   // No ack, direct or indirect: suspect (refutable — not a down-mark yet).
+  record_probe_span(cluster_.tracer(), cluster_.sim().now(), ctx.view.self(),
+                    ctx.probe.started, ctx.probe.ctx, target,
+                    /*acked=*/false);
   ctx.probe.target = -1;
   apply_update(ctx, target, PeerState::kSuspect,
                ctx.view.incarnation(target));
@@ -559,7 +656,7 @@ void Service::mesh_fiber(Endpoint& ep) {
       if (!pc) continue;
       Connection(&ep, pc).rdma_write(hb_slot_va(me), hb_src_va_, 8,
                                      kOpFlagUrgent);
-      ctx.counters.add("member_probe_msgs");
+      ctx.counters.add(kCtrProbeMsgs);
     }
     idle_wait(cfg_.period);
     const sim::Time now = cluster_.sim().now();
@@ -575,7 +672,7 @@ void Service::mesh_fiber(Endpoint& ep) {
         ctx.mesh_last_change[peer] = now;
       } else if (now - ctx.mesh_last_change[peer] > cfg_.mesh_timeout) {
         transition(ctx, peer, PeerState::kDead);
-        ctx.counters.add("member_dead_marks");
+        ctx.counters.add(kCtrDeadMarks);
       }
     }
   }

@@ -40,6 +40,7 @@
 #include "core/api.hpp"
 #include "sim/random.hpp"
 #include "stats/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::member {
 
@@ -210,6 +211,8 @@ class Service {
     std::uint64_t seq = 0;
     sim::Time deadline = 0;
     bool indirect = false;  // ping-reqs already fanned out
+    sim::Time started = 0;  // probe round start (span start time)
+    trace::SpanContext ctx;  // root span: pings/ping-reqs stitch under it
   };
 
   struct NodeCtx {

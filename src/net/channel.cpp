@@ -26,6 +26,7 @@ void Channel::send(FramePtr frame) {
   tx_free_at_ = sim_.now() + ser;
   ++stats_.frames_sent;
   stats_.bytes_sent += frame->wire_bytes();
+  if (rail_health_) rail_health_->on_frame_sent(sim_.now(), frame->wire_bytes());
 
   if (on_tx_done_) sim_.at(tx_free_at_, on_tx_done_);
 
@@ -36,11 +37,15 @@ void Channel::send(FramePtr frame) {
     if (next_bad != burst_bad_) {
       burst_bad_ = next_bad;
       ++stats_.burst_transitions;
+      if (rail_health_) rail_health_->on_burst_transition(sim_.now(), next_bad);
     }
   }
 
-  if (faults_.in_outage(sim_.now()) || rng_.chance(faults_.drop_prob)) {
+  const bool in_outage = faults_.in_outage(sim_.now());
+  if (rail_health_) rail_health_->on_outage_change(sim_.now(), in_outage);
+  if (in_outage || rng_.chance(faults_.drop_prob)) {
     ++stats_.frames_dropped;
+    if (rail_health_) rail_health_->on_drop(sim_.now(), /*burst=*/false);
     if (tracer_) {
       tracer_->record(sim_.now(), trace::EventType::kWireDrop, trace_node_,
                       trace_rail_, -1, frame->payload.size());
@@ -52,6 +57,7 @@ void Channel::send(FramePtr frame) {
                              : faults_.burst.drop_good)) {
     ++stats_.frames_dropped;
     ++stats_.frames_dropped_burst;
+    if (rail_health_) rail_health_->on_drop(sim_.now(), /*burst=*/true);
     if (tracer_) {
       tracer_->record(sim_.now(), trace::EventType::kWireDrop, trace_node_,
                       trace_rail_, -1, frame->payload.size());
@@ -60,6 +66,7 @@ void Channel::send(FramePtr frame) {
   }
   if (rng_.chance(faults_.corrupt_prob)) {
     ++stats_.frames_corrupted;
+    if (rail_health_) rail_health_->on_corrupt(sim_.now());
     if (tracer_) {
       tracer_->record(sim_.now(), trace::EventType::kWireCorrupt, trace_node_,
                       trace_rail_, -1, frame->payload.size());

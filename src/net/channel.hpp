@@ -17,6 +17,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "trace/rail_health.hpp"
 #include "trace/trace.hpp"
 
 namespace multiedge::net {
@@ -102,6 +103,11 @@ class Channel {
     trace_rail_ = rail;
   }
 
+  /// Attach the sender-side rail-health aggregator (nullptr disables). The
+  /// channel feeds it sends, drops, corruptions, burst transitions and
+  /// outage flaps as they happen — pure observation, no timing impact.
+  void set_rail_health(trace::RailHealth* rh) { rail_health_ = rh; }
+
  private:
   void schedule_delivery(FramePtr frame);
 
@@ -118,6 +124,7 @@ class Channel {
   trace::TraceRecorder* tracer_ = nullptr;
   int trace_node_ = -1;
   int trace_rail_ = -1;
+  trace::RailHealth* rail_health_ = nullptr;
 };
 
 }  // namespace multiedge::net

@@ -128,6 +128,15 @@ struct Frame {
   /// of kOpFlagUrgent operations.
   bool urgent = false;
 
+  /// Causal trace context of the operation this frame belongs to (0 = none).
+  /// Carried out-of-band like fcs_bad/urgent: conceptually part of the
+  /// protocol header, but kept off the serialized payload so wire_bytes()
+  /// and therefore all timing stay identical whether or not a trace context
+  /// is attached (tracing must remain a pure observer).
+  std::uint64_t trace_id = 0;
+  /// The sending operation's span id (the parent of the receiver-side span).
+  std::uint64_t span_id = 0;
+
   /// Bytes that occupy the wire (for serialization-time computation).
   std::size_t wire_bytes() const {
     const std::size_t pay = payload.size() < kMinPayload ? kMinPayload : payload.size();

@@ -14,6 +14,9 @@ bool Nic::tx(FramePtr frame) {
   if (tx_in_ring_ >= cfg_.tx_ring_slots) return false;
   ++tx_in_ring_;
   tx_ring_.push_back(std::move(frame));
+  if (rail_health_) {
+    rail_health_->on_queue_sample(sim_.now(), tx_in_ring_, rx_ring_.size());
+  }
   start_next_tx();
   return true;
 }
@@ -82,6 +85,9 @@ void Nic::deliver(FramePtr frame) {
     const bool urgent = f->urgent;
     rx_ring_.push_back(std::move(f));
     ++stats_.rx_frames;
+    if (rail_health_) {
+      rail_health_->on_queue_sample(sim_.now(), tx_in_ring_, rx_ring_.size());
+    }
     note_irq_event(/*maskable=*/true, urgent);
   });
 }

@@ -98,6 +98,10 @@ class Nic : public FrameSink {
     trace_rail_ = rail;
   }
 
+  /// Attach the rail-health aggregator (nullptr disables). The NIC samples
+  /// its tx/rx ring occupancy into it on every tx post and rx delivery.
+  void set_rail_health(trace::RailHealth* rh) { rail_health_ = rh; }
+
   // --- Wire-facing (FrameSink) ---
   void deliver(FramePtr frame) override;
 
@@ -132,6 +136,7 @@ class Nic : public FrameSink {
   trace::TraceRecorder* tracer_ = nullptr;
   int trace_node_ = -1;
   int trace_rail_ = -1;
+  trace::RailHealth* rail_health_ = nullptr;
 };
 
 }  // namespace multiedge::net

@@ -35,6 +35,52 @@ const stats::CounterId kCtrRetransmissions =
     stats::CounterRegistry::intern("retransmissions");
 const stats::CounterId kCtrOooFramesRcvd =
     stats::CounterRegistry::intern("ooo_frames_rcvd");
+const stats::CounterId kCtrScatterOpsSubmitted =
+    stats::CounterRegistry::intern("scatter_ops_submitted");
+const stats::CounterId kCtrReadsSubmitted =
+    stats::CounterRegistry::intern("reads_submitted");
+const stats::CounterId kCtrGatherReadsSubmitted =
+    stats::CounterRegistry::intern("gather_reads_submitted");
+const stats::CounterId kCtrReadResponses =
+    stats::CounterRegistry::intern("read_responses");
+const stats::CounterId kCtrGatherResponses =
+    stats::CounterRegistry::intern("gather_responses");
+const stats::CounterId kCtrNacksRcvd =
+    stats::CounterRegistry::intern("nacks_rcvd");
+const stats::CounterId kCtrNacksSent =
+    stats::CounterRegistry::intern("nacks_sent");
+const stats::CounterId kCtrRtoEvents =
+    stats::CounterRegistry::intern("rto_events");
+const stats::CounterId kCtrDuplicatesDiscarded =
+    stats::CounterRegistry::intern("duplicates_discarded");
+const stats::CounterId kCtrFramesBuffered =
+    stats::CounterRegistry::intern("frames_buffered");
+const stats::CounterId kCtrFenceBlockedFrames =
+    stats::CounterRegistry::intern("fence_blocked_frames");
+const stats::CounterId kCtrScatterOpsApplied =
+    stats::CounterRegistry::intern("scatter_ops_applied");
+const stats::CounterId kCtrScatterDecodeFailed =
+    stats::CounterRegistry::intern("scatter_decode_failed");
+const stats::CounterId kCtrGatherReadsServed =
+    stats::CounterRegistry::intern("gather_reads_served");
+const stats::CounterId kCtrGatherDecodeFailed =
+    stats::CounterRegistry::intern("gather_decode_failed");
+const stats::CounterId kCtrReadsCompleted =
+    stats::CounterRegistry::intern("reads_completed");
+const stats::CounterId kCtrAckSendFailed =
+    stats::CounterRegistry::intern("ack_send_failed");
+
+// Adopt the submitting fiber's span (if any) as `op`'s parent and give the
+// op its own child span. No-op unless a recorder exists and the fiber
+// carries an active context, so untraced traffic records nothing and
+// allocates no ids — same-seed golden traces stay byte-identical.
+void adopt_span(trace::TraceRecorder* t, SendOp& op) {
+  if (t == nullptr) return;
+  const trace::SpanContext cur = trace::SpanScope::current();
+  if (!cur.active()) return;
+  op.parent_span = cur.span_id;
+  op.ctx = t->new_child(cur);
+}
 }  // namespace
 
 Connection::Connection(Engine& engine, std::uint32_t local_id, int peer_node,
@@ -89,6 +135,10 @@ void Connection::fragment_op(FrameKind kind, OpType op_type, SendOp& op,
     h.frag_offset = static_cast<std::uint32_t>(off);
     auto frame = net::frame_pool().acquire();
     frame->urgent = (op.flags & kOpFlagUrgent) != 0;
+    // Causal context rides out-of-band on the frame (see net::Frame): the
+    // receiver stitches its op span under op.ctx without any wire change.
+    frame->trace_id = op.ctx.trace_id;
+    frame->span_id = op.ctx.span_id;
     encode_frame_payload_into(frame->payload, h, {}, data.subspan(off, n));
     pending_.push_back(OutFrame{std::move(frame), h.seq});
     off += n;
@@ -105,6 +155,7 @@ SendOpPtr Connection::submit_write(std::uint64_t remote_va,
   op->kind = OpKind::kWrite;
   op->flags = flags;
   op->size = static_cast<std::uint32_t>(data.size());
+  adopt_span(engine_.tracer(), *op);
 
   const std::uint64_t dep = ffence_latest_;
   if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
@@ -117,7 +168,8 @@ SendOpPtr Connection::submit_write(std::uint64_t remote_va,
   counters_.add(kCtrBytesSubmitted, data.size());
   if (auto* t = engine_.tracer()) {
     t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size);
+              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
+              op->parent_span);
   }
   try_transmit(cpu);
   return op;
@@ -132,6 +184,7 @@ SendOpPtr Connection::submit_scatter_write(std::uint64_t remote_base_va,
   op->kind = OpKind::kWrite;
   op->flags = flags;
   op->size = static_cast<std::uint32_t>(encoded.size());
+  adopt_span(engine_.tracer(), *op);
 
   const std::uint64_t dep = ffence_latest_;
   if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
@@ -141,11 +194,12 @@ SendOpPtr Connection::submit_scatter_write(std::uint64_t remote_base_va,
   op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
   counters_.add(kCtrOpsSubmitted);
-  counters_.add("scatter_ops_submitted");
+  counters_.add(kCtrScatterOpsSubmitted);
   counters_.add(kCtrBytesSubmitted, encoded.size());
   if (auto* t = engine_.tracer()) {
     t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size);
+              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
+              op->parent_span);
   }
   try_transmit(cpu);
   return op;
@@ -160,6 +214,7 @@ SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_v
   op->kind = OpKind::kRead;
   op->flags = flags;
   op->size = size;
+  adopt_span(engine_.tracer(), *op);
 
   const std::uint64_t dep = ffence_latest_;
   if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
@@ -170,10 +225,11 @@ SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_v
               local_va, {}, size);
   op->submitted_at = engine_.sim().now();
   pending_reads_.insert_or_assign(op->op_id, op);
-  counters_.add("reads_submitted");
+  counters_.add(kCtrReadsSubmitted);
   if (auto* t = engine_.tracer()) {
     t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size);
+              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
+              op->parent_span);
   }
   try_transmit(cpu);
   return op;
@@ -190,6 +246,7 @@ SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
   op->kind = OpKind::kRead;
   op->flags = flags;
   op->size = total_bytes;
+  adopt_span(engine_.tracer(), *op);
 
   const std::uint64_t dep = ffence_latest_;
   if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
@@ -203,10 +260,11 @@ SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
               static_cast<std::uint32_t>(encoded.size()));
   op->submitted_at = engine_.sim().now();
   pending_reads_.insert_or_assign(op->op_id, op);
-  counters_.add("gather_reads_submitted");
+  counters_.add(kCtrGatherReadsSubmitted);
   if (auto* t = engine_.tracer()) {
     t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size);
+              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
+              op->parent_span);
   }
   try_transmit(cpu);
   return op;
@@ -214,20 +272,25 @@ SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
 
 void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
                                       std::uint32_t size, std::uint64_t req_op_id,
-                                      sim::Cpu& cpu) {
+                                      sim::Cpu& cpu,
+                                      const trace::SpanContext& parent) {
   auto op = std::make_shared<SendOp>();
   op->op_id = next_op_id_++;
   op->kind = OpKind::kWrite;
   op->flags = 0;
   op->size = size;
+  if (auto* t = engine_.tracer(); t != nullptr && parent.active()) {
+    op->parent_span = parent.span_id;
+    op->ctx = t->new_child(parent);
+  }
   // Read responses carry no fences of their own; the request's fences were
   // honoured when the response was generated.
   fragment_op(FrameKind::kData, OpType::kReadResp, *op, kNoFenceDep, dst_va,
               req_op_id, engine_.memory().view(src_va, size), size);
   op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
-  counters_.add("read_responses");
-  counters_.add("bytes_submitted", size);
+  counters_.add(kCtrReadResponses);
+  counters_.add(kCtrBytesSubmitted, size);
   // Serving the read costs a kernel-side copy of the data into frames.
   cpu.charge(engine_.costs().copy_cost_kernel(size));
   try_transmit(cpu);
@@ -236,7 +299,8 @@ void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va
 void Connection::submit_gather_response(std::uint64_t dst_base_va,
                                         std::uint64_t src_base_va,
                                         std::span<const GatherChunk> chunks,
-                                        std::uint64_t req_op_id, sim::Cpu& cpu) {
+                                        std::uint64_t req_op_id, sim::Cpu& cpu,
+                                        const trace::SpanContext& parent) {
   std::vector<ScatterChunk> segs;
   std::vector<std::span<const std::byte>> data;
   segs.reserve(chunks.size());
@@ -256,13 +320,17 @@ void Connection::submit_gather_response(std::uint64_t dst_base_va,
   op->kind = OpKind::kWrite;
   op->flags = 0;
   op->size = static_cast<std::uint32_t>(encoded.size());
+  if (auto* t = engine_.tracer(); t != nullptr && parent.active()) {
+    op->parent_span = parent.span_id;
+    op->ctx = t->new_child(parent);
+  }
   // Like read responses, gather responses carry no fences of their own.
   fragment_op(FrameKind::kData, OpType::kGatherResp, *op, kNoFenceDep,
               dst_base_va, req_op_id, encoded, op->size);
   op->submitted_at = engine_.sim().now();
   write_ops_.push_back(op);
-  counters_.add("gather_responses");
-  counters_.add("bytes_submitted", encoded.size());
+  counters_.add(kCtrGatherResponses);
+  counters_.add(kCtrBytesSubmitted, encoded.size());
   cpu.charge(engine_.costs().copy_cost_kernel(total));
   try_transmit(cpu);
 }
@@ -286,7 +354,8 @@ std::size_t Connection::pick_link() {
 }
 
 bool Connection::transmit_on_some_link(const net::MutFramePtr& frame,
-                                       std::uint64_t seq, sim::Cpu& cpu) {
+                                       std::uint64_t seq, sim::Cpu& cpu,
+                                       bool retx) {
   const std::size_t start = pick_link();
   for (std::size_t i = 0; i < links_.size(); ++i) {
     const std::size_t li = (start + i) % links_.size();
@@ -297,6 +366,13 @@ bool Connection::transmit_on_some_link(const net::MutFramePtr& frame,
     if (link.drv->transmit(frame)) {
       rr_next_link_ = (li + 1) % links_.size();
       cpu.charge(engine_.costs().tx_frame_cost);
+      if (retx) {
+        // Charge the retransmission against the rail that carries it: links
+        // are attached in rail order, so link index == rail index.
+        if (auto* rh = engine_.rail_health(li)) {
+          rh->on_retransmit(engine_.sim().now());
+        }
+      }
       counters_.add(kCtrDataFramesSent);
       counters_.add(kCtrDataBytesSent, frame->payload.size());
       if (auto* t = engine_.tracer()) {
@@ -333,7 +409,7 @@ void Connection::try_transmit(sim::Cpu& cpu) {
     net::MutFramePtr frame = retained.use_count() == 1
                                  ? retained
                                  : net::frame_pool().clone(*retained);
-    if (!transmit_on_some_link(frame, seq, cpu)) break;
+    if (!transmit_on_some_link(frame, seq, cpu, /*retx=*/true)) break;
     counters_.add(kCtrRetransmissions);
     if (auto* t = engine_.tracer()) {
       t->record(engine_.sim().now(), trace::EventType::kRetransmit,
@@ -421,7 +497,8 @@ void Connection::complete_acked_ops(sim::Cpu& cpu) {
       t->record_span(op->submitted_at,
                      engine_.sim().now() - op->submitted_at,
                      trace::EventType::kOpComplete, engine_.node_id(), -1,
-                     static_cast<int>(local_id_), op->op_id, op->size);
+                     static_cast<int>(local_id_), op->op_id, op->size,
+                     op->ctx, op->parent_span);
     }
     op->waiters.notify_all();
     if (op->on_complete) op->on_complete();
@@ -445,7 +522,7 @@ void Connection::handle_ack_frame(const DecodedFrame& df, sim::Cpu& cpu) {
   }
   process_ack(df.hdr.ack, cpu);
   if (!df.nacks.empty()) {
-    counters_.add("nacks_rcvd", df.nacks.size());
+    counters_.add(kCtrNacksRcvd, df.nacks.size());
     for (std::uint64_t seq : df.nacks) {
       if (seq < snd_una_ || seq >= snd_tx_next_) {
         continue;  // already acked or retransmitted+acked
@@ -461,7 +538,7 @@ void Connection::on_retransmit_timeout(sim::Cpu& cpu) {
   // §2.4: retransmit the *last transmitted* frame. The duplicate prods the
   // receiver into re-acking (and NACKing every gap it still sees).
   const std::uint64_t last = snd_tx_next_ - 1;
-  counters_.add("rto_events");
+  counters_.add(kCtrRtoEvents);
   if (retx_queued_seqs_.insert(last)) retx_queue_.push_back(last);
   retransmit_timer_.schedule(engine_.config().retransmit_timeout);
   try_transmit(cpu);
@@ -523,7 +600,7 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
         apply_or_block(std::move(next), cpu);
       }
     } else {
-      counters_.add("frames_buffered");
+      counters_.add(kCtrFramesBuffered);
       ooo_buffer_.emplace(seq, std::move(frag));
     }
   } else {
@@ -581,7 +658,7 @@ void Connection::note_gap_progress() {
 
 void Connection::on_duplicate(std::uint64_t seq, sim::Cpu& cpu) {
   (void)seq;
-  counters_.add("duplicates_discarded");
+  counters_.add(kCtrDuplicatesDiscarded);
   // A duplicate means the sender is retransmitting: our ACKs (or its data)
   // were lost. Re-ack immediately. Gap reporting stays on its normal
   // schedule — forcing NACKs here would re-request frames that are merely
@@ -645,11 +722,11 @@ void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
   }
   if (!sent) {
     // ACKs are unsequenced and unreliable; timers will recover.
-    counters_.add("ack_send_failed");
+    counters_.add(kCtrAckSendFailed);
     return;
   }
   counters_.add(kCtrAckFramesSent);
-  if (!nacks.empty()) counters_.add("nacks_sent", nacks.size());
+  if (!nacks.empty()) counters_.add(kCtrNacksSent, nacks.size());
   if (auto* t = engine_.tracer()) {
     t->record(engine_.sim().now(), trace::EventType::kAckTx, engine_.node_id(),
               -1, static_cast<int>(local_id_), rcv_nxt_, nacks.size());
@@ -684,13 +761,23 @@ void Connection::on_nack_timeout(sim::Cpu& cpu) {
 // Fence/reorder engine
 // ---------------------------------------------------------------------------
 
-Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr) {
+Connection::RecvOp& Connection::recv_op_for(const WireHeader& hdr,
+                                            const net::Frame& frame) {
   if (RecvOp* existing = recv_ops_.find(hdr.op_id)) return *existing;
   RecvOp op;
   op.op_id = hdr.op_id;
   op.flags = hdr.op_flags;
   op.ffence_dep = hdr.ffence_dep;
   op.size = hdr.op_size;
+  op.first_frag_at = engine_.sim().now();
+  if (frame.trace_id != 0) {
+    // The initiator traced this op: open a receiver-side span under the same
+    // trace, parented on the initiator's op span carried by the frame.
+    op.sender_span = frame.span_id;
+    if (auto* t = engine_.tracer()) {
+      op.ctx = trace::SpanContext{frame.trace_id, t->new_span_id()};
+    }
+  }
   if (hdr.kind == FrameKind::kReadReq) {
     op.is_read_req = true;
     op.read_src_va = hdr.remote_va;
@@ -737,12 +824,12 @@ bool Connection::fences_satisfied(const RecvOp& op) const {
 }
 
 void Connection::apply_or_block(BufferedFrag frag, sim::Cpu& cpu) {
-  RecvOp& op = recv_op_for(frag.hdr);
+  RecvOp& op = recv_op_for(frag.hdr, *frag.frame);
   if (fences_satisfied(op)) {
     apply_frag(op, frag, cpu);
     maybe_complete(op, cpu);
   } else {
-    counters_.add("fence_blocked_frames");
+    counters_.add(kCtrFenceBlockedFrames);
     if (auto* t = engine_.tracer()) {
       t->record(engine_.sim().now(), trace::EventType::kFenceBlocked,
                 engine_.node_id(), -1, static_cast<int>(local_id_), op.op_id);
@@ -785,6 +872,16 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
 
   const std::uint64_t op_id = op.op_id;
   if (auto* ck = engine_.checker()) ck->on_op_completed(*this, op_id);
+  if (op.ctx.active()) {
+    // Receiver-side op span: first fragment arrival -> op fully applied,
+    // stitched under the initiator's op span via the frame-carried context.
+    if (auto* t = engine_.tracer()) {
+      t->record_span(op.first_frag_at, engine_.sim().now() - op.first_frag_at,
+                     trace::EventType::kOpRecv, engine_.node_id(), -1,
+                     static_cast<int>(local_id_), op_id, op.size, op.ctx,
+                     op.sender_span);
+    }
+  }
   if (op.flags & kOpFlagSolicit) {
     ack_on_idle_ = true;  // ack the completed op at the next receive lull
   }
@@ -796,9 +893,9 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
         // Applying the gathered segments is an extra kernel-side copy.
         cpu.charge(engine_.costs().copy_cost_kernel(data.size()));
       }
-      counters_.add("scatter_ops_applied");
+      counters_.add(kCtrScatterOpsApplied);
     } else {
-      counters_.add("scatter_decode_failed");
+      counters_.add(kCtrScatterDecodeFailed);
     }
   }
   if (op.is_read_req) {
@@ -808,15 +905,15 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
       std::vector<GatherChunk> chunks;
       if (decode_gather_request(op.assembly, chunks)) {
         submit_gather_response(op.read_dst_va, op.read_src_va, chunks,
-                               op.read_req_op, cpu);
-        counters_.add("gather_reads_served");
+                               op.read_req_op, cpu, op.ctx);
+        counters_.add(kCtrGatherReadsServed);
       } else {
-        counters_.add("gather_decode_failed");
+        counters_.add(kCtrGatherDecodeFailed);
       }
     } else {
       // "Performing" a remote read: generate the response data stream.
       submit_read_response(op.read_dst_va, op.read_src_va, op.size,
-                           op.read_req_op, cpu);
+                           op.read_req_op, cpu, op.ctx);
     }
   } else if (op.is_read_resp) {
     // Response fully applied at the initiator: finish the pending read.
@@ -824,20 +921,23 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
       SendOpPtr rop = std::move(*slot);
       pending_reads_.erase(op.read_req_op);
       rop->complete = true;
-      counters_.add("reads_completed");
+      counters_.add(kCtrReadsCompleted);
       if (auto* t = engine_.tracer()) {
         t->record_span(rop->submitted_at,
                        engine_.sim().now() - rop->submitted_at,
                        trace::EventType::kOpComplete, engine_.node_id(), -1,
-                       static_cast<int>(local_id_), rop->op_id, rop->size);
+                       static_cast<int>(local_id_), rop->op_id, rop->size,
+                       rop->ctx, rop->parent_span);
       }
       rop->waiters.notify_all();
       if (rop->on_complete) rop->on_complete();
     }
   } else if (op.flags & kOpFlagNotify) {
+    // The notification carries the receiver-side span so RPC-style handlers
+    // (KV server, membership, collectives) parent their spans under it.
     engine_.deliver_notification(
         Notification{peer_node_, op_id, op.write_va, op.size,
-                     op_flags_tag(op.flags)},
+                     op_flags_tag(op.flags), op.ctx},
         cpu);
   }
 

@@ -175,6 +175,12 @@ class Connection {
     std::uint64_t ffence_dep = kNoFenceDep;
     std::uint32_t size = 0;
     std::uint32_t applied = 0;
+    // Causal context: ctx is this op's receiver-side span (allocated when
+    // the first fragment arrives, if it carried a trace id), sender_span the
+    // initiator-side parent carried by the frames.
+    trace::SpanContext ctx;
+    std::uint64_t sender_span = 0;
+    sim::Time first_frag_at = 0;
     bool is_read_req = false;     // a remote-read request to serve
     bool is_read_resp = false;    // response data for one of our reads
     bool is_scatter = false;      // scatter write: assemble, apply at end
@@ -205,22 +211,27 @@ class Connection {
                    std::uint64_t ffence_dep, std::uint64_t remote_va,
                    std::uint64_t aux_va, std::span<const std::byte> data,
                    std::uint32_t op_size);
+  // Responses adopt `parent` (the request's receiver-side span) so a remote
+  // read renders as one stitched trace; passed explicitly because response
+  // generation runs in protocol-thread context, not a user fiber.
   void submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
                             std::uint32_t size, std::uint64_t req_op_id,
-                            sim::Cpu& cpu);
+                            sim::Cpu& cpu,
+                            const trace::SpanContext& parent = {});
   void submit_gather_response(std::uint64_t dst_base_va,
                               std::uint64_t src_base_va,
                               std::span<const GatherChunk> chunks,
-                              std::uint64_t req_op_id, sim::Cpu& cpu);
+                              std::uint64_t req_op_id, sim::Cpu& cpu,
+                              const trace::SpanContext& parent = {});
   std::size_t pick_link();
   bool transmit_on_some_link(const net::MutFramePtr& frame, std::uint64_t seq,
-                             sim::Cpu& cpu);
+                             sim::Cpu& cpu, bool retx = false);
   void complete_acked_ops(sim::Cpu& cpu);
 
   void note_gap_progress();
   const std::vector<std::uint64_t>& collect_due_nacks(bool force_all);
   void apply_or_block(BufferedFrag frag, sim::Cpu& cpu);
-  RecvOp& recv_op_for(const WireHeader& hdr);
+  RecvOp& recv_op_for(const WireHeader& hdr, const net::Frame& frame);
   bool fences_satisfied(const RecvOp& op) const;
   bool recv_op_completed(std::uint64_t op_id) const;
   void apply_frag(RecvOp& op, const BufferedFrag& frag, sim::Cpu& cpu);

@@ -18,6 +18,19 @@ const stats::CounterId kCtrThreadEvents =
     stats::CounterRegistry::intern("thread_events");
 const stats::CounterId kCtrTxCompletions =
     stats::CounterRegistry::intern("tx_completions");
+const stats::CounterId kCtrMalformedFrames =
+    stats::CounterRegistry::intern("malformed_frames");
+const stats::CounterId kCtrFramesUnknownConn =
+    stats::CounterRegistry::intern("frames_unknown_conn");
+const stats::CounterId kCtrSynRetries =
+    stats::CounterRegistry::intern("syn_retries");
+const stats::CounterId kCtrCtrlSendFailed =
+    stats::CounterRegistry::intern("ctrl_send_failed");
+const stats::CounterId kCtrDupSyn = stats::CounterRegistry::intern("dup_syn");
+const stats::CounterId kCtrConnAcks =
+    stats::CounterRegistry::intern("conn_acks");
+const stats::CounterId kCtrNotificationsDelivered =
+    stats::CounterRegistry::intern("notifications_delivered");
 }  // namespace
 
 Engine::Engine(sim::Simulator& sim, int node_id, MemorySpace& memory,
@@ -89,7 +102,7 @@ void Engine::thread_loop() {
       RxItem item;
       item.frame = std::move(f);
       if (!decode_frame_payload(item.frame->payload, item.decoded)) {
-        counters_.add("malformed_frames");
+        counters_.add(kCtrMalformedFrames);
         continue;
       }
       cost += costs_.rx_frame_cost;
@@ -153,7 +166,7 @@ void Engine::dispatch(RxItem& item) {
     case FrameKind::kAck: {
       Connection* c = find_conn(h.conn_id);
       if (!c) {
-        counters_.add("frames_unknown_conn");
+        counters_.add(kCtrFramesUnknownConn);
         return;
       }
       note_rx_from(c->peer_node());
@@ -164,7 +177,7 @@ void Engine::dispatch(RxItem& item) {
     case FrameKind::kReadReq: {
       Connection* c = find_conn(h.conn_id);
       if (!c) {
-        counters_.add("frames_unknown_conn");
+        counters_.add(kCtrFramesUnknownConn);
         return;
       }
       note_rx_from(c->peer_node());
@@ -244,7 +257,7 @@ Connection* Engine::connect(int peer) {
                                                  id = conn->local_id()] {
     auto it = pending_connects_.find(id);
     if (it == pending_connects_.end()) return;
-    counters_.add("syn_retries");
+    counters_.add(kCtrSynRetries);
     send_syn();
     it->second.retry->schedule(cfg_.connect_retry_timeout);
   });
@@ -271,7 +284,7 @@ void Engine::send_ctrl_frame(int peer, const WireHeader& hdr, sim::Cpu& cpu) {
   frame->dst = mac_table_[peer][0];
   cpu.charge(costs_.tx_frame_cost);
   if (!rails_[0]->transmit(std::move(frame))) {
-    counters_.add("ctrl_send_failed");  // retry timers recover
+    counters_.add(kCtrCtrlSendFailed);  // retry timers recover
   }
 }
 
@@ -282,7 +295,7 @@ void Engine::on_syn(const DecodedFrame& df) {
   auto it = responder_index_.find(key);
   if (it != responder_index_.end()) {
     conn = it->second;  // duplicate SYN: our SYN-ACK was lost; resend it
-    counters_.add("dup_syn");
+    counters_.add(kCtrDupSyn);
   } else {
     conn = make_connection(peer, /*is_initiator=*/false);
     conn->set_remote_id(df.hdr.conn_id);
@@ -301,7 +314,7 @@ void Engine::on_syn(const DecodedFrame& df) {
 void Engine::on_syn_ack(const DecodedFrame& df) {
   Connection* conn = find_conn(df.hdr.conn_id);
   if (!conn) {
-    counters_.add("frames_unknown_conn");
+    counters_.add(kCtrFramesUnknownConn);
     return;
   }
   if (conn->state() == ConnState::kSynSent) {
@@ -320,7 +333,7 @@ void Engine::on_syn_ack(const DecodedFrame& df) {
 }
 
 void Engine::on_conn_ack(const DecodedFrame& df) {
-  counters_.add("conn_acks");
+  counters_.add(kCtrConnAcks);
   (void)df;  // the responder was usable as soon as it answered the SYN
 }
 
@@ -330,7 +343,7 @@ void Engine::on_conn_ack(const DecodedFrame& df) {
 
 void Engine::deliver_notification(Notification n, sim::Cpu& cpu) {
   cpu.charge(costs_.notify_cost);
-  counters_.add("notifications_delivered");
+  counters_.add(kCtrNotificationsDelivered);
   notifications_.push_back(n);
   notify_events_.notify_all();
 }

@@ -28,6 +28,7 @@
 #include "sim/timer.hpp"
 #include "sim/wait_queue.hpp"
 #include "stats/counters.hpp"
+#include "trace/rail_health.hpp"
 #include "trace/trace.hpp"
 
 namespace multiedge::proto {
@@ -92,6 +93,14 @@ class Engine {
   /// tracing is off). Connections and the DSM record through this.
   trace::TraceRecorder* tracer() const { return tracer_; }
   void set_tracer(trace::TraceRecorder* t) { tracer_ = t; }
+  /// Per-rail health aggregators (owned by the Cluster; may be empty).
+  /// Connections feed retransmissions into the rail that carries them.
+  void set_rail_health(std::vector<trace::RailHealth*> rh) {
+    rail_health_ = std::move(rh);
+  }
+  trace::RailHealth* rail_health(std::size_t rail) const {
+    return rail < rail_health_.size() ? rail_health_[rail] : nullptr;
+  }
   void deliver_notification(Notification n, sim::Cpu& cpu);
   /// Register a connection that still has frames waiting for window/ring.
   /// Deduplicated by a flag on the connection; the list keeps registration
@@ -169,6 +178,7 @@ class Engine {
   bool thread_active_ = false;
   std::unique_ptr<InvariantChecker> checker_;
   trace::TraceRecorder* tracer_ = nullptr;
+  std::vector<trace::RailHealth*> rail_health_;
   stats::Counters counters_;
 };
 

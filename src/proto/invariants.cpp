@@ -8,13 +8,24 @@
 namespace multiedge::proto {
 
 void InvariantChecker::violation(const Connection& c, const std::string& what) {
-  // Cap the log: one broken invariant usually cascades, and tests only need
-  // the head of the trail to diagnose.
-  if (violations_.size() >= 100) return;
   std::ostringstream os;
   os << "node " << node_id_ << " conn " << c.local_id() << " (peer "
      << c.peer_node() << "): " << what;
-  violations_.push_back(os.str());
+  note_violation(os.str());
+}
+
+void InvariantChecker::force_violation(const std::string& what) {
+  std::ostringstream os;
+  os << "node " << node_id_ << " (forced): " << what;
+  note_violation(os.str());
+}
+
+void InvariantChecker::note_violation(std::string msg) {
+  // Cap the log: one broken invariant usually cascades, and tests only need
+  // the head of the trail to diagnose.
+  if (violations_.size() >= 100) return;
+  violations_.push_back(std::move(msg));
+  if (on_violation_) on_violation_(violations_.back());
 }
 
 void InvariantChecker::on_frame_sent(const Connection& c, std::uint64_t seq,

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -55,6 +56,17 @@ class InvariantChecker {
   const std::vector<std::string>& violations() const { return violations_; }
   std::uint64_t checks_run() const { return checks_; }
 
+  /// Fired on every recorded violation with its formatted message. The
+  /// Cluster uses this to trigger the flight recorder's postmortem dump the
+  /// moment the first invariant breaks (not only when a test later asserts).
+  void set_on_violation(std::function<void(const std::string&)> cb) {
+    on_violation_ = std::move(cb);
+  }
+
+  /// Test hook: record a synthetic violation (and fire the callback) without
+  /// needing a real protocol bug. Used to exercise the postmortem path.
+  void force_violation(const std::string& what);
+
  private:
   struct SenderShadow {
     bool any_sent = false;
@@ -77,10 +89,13 @@ class InvariantChecker {
   }
   void violation(const Connection& c, const std::string& what);
 
+  void note_violation(std::string msg);
+
   int node_id_;
   std::map<const Connection*, SenderShadow> send_;
   std::map<const Connection*, ReceiverShadow> recv_;
   std::vector<std::string> violations_;
+  std::function<void(const std::string&)> on_violation_;
   std::uint64_t checks_ = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "sim/time.hpp"
 #include "sim/wait_queue.hpp"
+#include "trace/trace.hpp"
 
 namespace multiedge::proto {
 
@@ -20,6 +21,9 @@ struct Notification {
   std::uint32_t size = 0;
   /// Demultiplexing tag carried in op_flags bits 8..15 (0 = default channel).
   std::uint8_t tag = 0;
+  /// Causal context of the receiver-side op span ({0,0} when untraced);
+  /// RPC-style handlers adopt it as the parent of their own spans.
+  trace::SpanContext ctx;
 };
 
 enum class OpKind : std::uint8_t { kWrite, kRead };
@@ -40,6 +44,11 @@ struct SendOp {
   /// Submission time; op-completion trace spans and latency histograms
   /// measure from here.
   sim::Time submitted_at = 0;
+  /// This operation's own span ({0,0} when the submitting fiber carried no
+  /// context); stamped into every frame of the op.
+  trace::SpanContext ctx;
+  /// Span id of the submitting fiber's enclosing span (parent of ctx).
+  std::uint64_t parent_span = 0;
 
   /// Fibers blocked in OpHandle::wait().
   sim::WaitQueue waiters;

@@ -51,6 +51,17 @@ class Process {
   /// The process whose fiber is currently executing, or nullptr.
   static Process* current() { return current_; }
 
+  /// Fiber-local causal-trace slot: the span this fiber is currently inside
+  /// (0 = none). Owned by trace::SpanScope and read by the protocol layer
+  /// when an operation is submitted; kept here (rather than on the engine)
+  /// because a fiber can yield mid-operation and another fiber must not
+  /// inherit its context. The sim layer never interprets these values.
+  struct SpanSlot {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+  };
+  SpanSlot span_slot;
+
  private:
   void run_slice();
 

@@ -6,11 +6,11 @@
 // not pollute the reported statistics.
 //
 // Counter names are interned process-wide into dense CounterId handles, and a
-// Counters block is a plain vector indexed by handle. Hot paths (per-frame
-// protocol counters) intern their names once at startup and call
+// Counters block is a plain vector indexed by handle. Writers intern their
+// names once at startup (file-scope `const CounterId kCtrX = ...`) and call
 // add(CounterId), which is a bounds check plus a vector add — no per-event
-// string hashing or map lookup. The string-keyed add()/get() overloads remain
-// as a compatibility shim for cold paths and tests.
+// string hashing or map lookup. Reads may still go by name (get/all), which
+// pays a registry lookup — fine off the hot path.
 #pragma once
 
 #include <cstdint>
@@ -57,12 +57,6 @@ class Counters {
   void add(CounterId id, Value delta = 1) {
     if (values_.size() <= id.index()) values_.resize(id.index() + 1, 0);
     values_[id.index()] += delta;
-  }
-
-  /// Compatibility shim: add by name (interns on first use; pays one registry
-  /// lookup per call — fine off the hot path).
-  void add(const std::string& name, Value delta = 1) {
-    add(CounterRegistry::intern(name), delta);
   }
 
   /// Read a counter (0 if it never fired).

@@ -17,6 +17,8 @@ constexpr int kTidProtoThread = 0;
 constexpr int kTidRailBase = 1;
 constexpr int kTidDsm = 500;
 constexpr int kTidColl = 501;
+constexpr int kTidKv = 502;
+constexpr int kTidMember = 503;
 constexpr int kTidConnBase = 1000;
 
 // Simulated picoseconds -> trace microseconds, printed with fixed precision
@@ -46,6 +48,12 @@ int event_tid(const Event& e) {
     case EventType::kCollOp:
     case EventType::kCollRound:
       return kTidColl;
+    case EventType::kKvOp:
+    case EventType::kKvHandler:
+    case EventType::kKvRepl:
+      return kTidKv;
+    case EventType::kMemberProbe:
+      return kTidMember;
     case EventType::kAckTx:
     case EventType::kAckRx:
     case EventType::kWindowStall:
@@ -54,20 +62,21 @@ int event_tid(const Event& e) {
     case EventType::kFenceRelease:
     case EventType::kOpSubmit:
     case EventType::kOpComplete:
+    case EventType::kOpRecv:
       return kTidConnBase + (e.conn >= 0 ? e.conn : 0);
   }
   return 0;
 }
 
-bool is_span(EventType t) {
-  return t == EventType::kOpComplete || t == EventType::kDsmPageFetch ||
-         t == EventType::kDsmDiffFlush || t == EventType::kCollOp;
-}
+// Span-ness comes from the single trace.hpp table (trace::is_span); the
+// exporter deliberately has no private copy to drift out of sync.
 
 std::string thread_label(int tid) {
   if (tid == kTidProtoThread) return "proto-thread";
   if (tid == kTidDsm) return "dsm";
   if (tid == kTidColl) return "coll";
+  if (tid == kTidKv) return "kv";
+  if (tid == kTidMember) return "member";
   if (tid >= kTidConnBase) return "conn" + std::to_string(tid - kTidConnBase);
   return "rail" + std::to_string(tid - kTidRailBase);
 }
@@ -105,6 +114,24 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
     write_meta(os, first, "thread_name", pid, tid, thread_label(tid));
   }
 
+  // Track where every traced span lives so cross-node parent links can be
+  // drawn as Perfetto flow arrows (span id -> its slice's pid/tid/start).
+  // Instants carrying a span id (op_submit) register too: they anchor ops
+  // whose completion span never landed (fire-and-forget writes drained with
+  // the run); a later span event for the same id overrides the anchor.
+  struct SpanSite {
+    int pid = 0;
+    int tid = 0;
+    sim::Time ts = 0;
+  };
+  std::map<std::uint64_t, SpanSite> span_sites;
+  for (const Event& e : events) {
+    if (e.trace_id != 0 && e.span_id != 0) {
+      span_sites[e.span_id] = SpanSite{e.node >= 0 ? e.node : 0, event_tid(e),
+                                       e.ts};
+    }
+  }
+
   for (const Event& e : events) {
     const int pid = e.node >= 0 ? e.node : 0;
     os << (first ? "" : ",") << "\n  {\"name\":\"" << event_name(e.type)
@@ -119,8 +146,32 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& rec,
        << ",\"args\":{\"a\":" << e.a << ",\"b\":" << e.b;
     if (e.conn >= 0) os << ",\"conn\":" << e.conn;
     if (e.rail >= 0) os << ",\"rail\":" << e.rail;
+    if (e.trace_id != 0) {
+      // Causal context: only traced events grow args, so untraced runs
+      // export byte-identically to the pre-context format.
+      os << ",\"trace\":" << e.trace_id << ",\"span\":" << e.span_id
+         << ",\"parent\":" << e.parent_span;
+    }
     os << "}}";
     first = false;
+
+    // Parent -> child flow arrow (one per traced child span whose parent's
+    // slice survived the ring). The flow id is the child's span id: unique,
+    // deterministic, and shared by exactly the "s"/"f" pair.
+    if (e.trace_id != 0 && is_span(e.type) && e.parent_span != 0) {
+      auto it = span_sites.find(e.parent_span);
+      if (it != span_sites.end()) {
+        const SpanSite& p = it->second;
+        os << ",\n  {\"name\":\"" << event_name(e.type)
+           << "\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << e.span_id
+           << ",\"ts\":" << ts_us(p.ts) << ",\"pid\":" << p.pid
+           << ",\"tid\":" << p.tid << "}";
+        os << ",\n  {\"name\":\"" << event_name(e.type)
+           << "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+           << e.span_id << ",\"ts\":" << ts_us(e.ts) << ",\"pid\":" << pid
+           << ",\"tid\":" << event_tid(e) << "}";
+      }
+    }
   }
 
   for (const TimeSeries* s : series) {

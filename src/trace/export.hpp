@@ -7,10 +7,16 @@
 //   tid 0            = protocol thread (batch boundaries)
 //   tid 1 + rail     = NIC/wire/data track for that rail
 //   tid 500          = DSM activity
+//   tid 501          = collectives
+//   tid 502          = key-value store spans
+//   tid 503          = membership probe spans
 //   tid 1000 + conn  = per-connection op/window/fence track
-// Instant events use ph "i", duration events (op complete, DSM page fetch,
-// diff flush) use ph "X" with ts = start. Timestamps are microseconds of
-// simulated time (fractional; the sim runs in picoseconds).
+// Instant events use ph "i", duration events (see trace::is_span) use ph "X"
+// with ts = start. Events carrying a causal trace context additionally emit
+// "trace"/"span"/"parent" args plus a Perfetto flow arrow (ph "s"/"f") from
+// the parent span's slice, so one distributed op renders as a stitched
+// cross-node timeline. Timestamps are microseconds of simulated time
+// (fractional; the sim runs in picoseconds).
 //
 // The *_to_json helpers emit the machine-readable metrics objects embedded in
 // the bench BENCH_*.json artifacts.

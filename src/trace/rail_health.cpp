@@ -1,0 +1,78 @@
+#include "trace/rail_health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/json.hpp"
+
+namespace multiedge::trace {
+
+void RailHealth::fold(sim::Time now) const {
+  if (now <= last_fold_) return;
+  const double dt = static_cast<double>(now - last_fold_);
+  const double decay = std::exp(-dt / static_cast<double>(kTau));
+  send_rate_ *= decay;
+  loss_rate_ *= decay;
+  retransmit_rate_ *= decay;
+  last_fold_ = now;
+}
+
+RailHealth::Snapshot RailHealth::snapshot(sim::Time now) const {
+  fold(now);
+  Snapshot s;
+  s.frames_sent = frames_sent_;
+  s.bytes_sent = bytes_sent_;
+  s.drops = drops_;
+  s.burst_drops = burst_drops_;
+  s.corrupts = corrupts_;
+  s.retransmits = retransmits_;
+  s.burst_transitions = burst_transitions_;
+  s.outage_flaps = outage_flaps_;
+  // The EWMAs accumulate "1.0 per event, decayed over tau"; dividing by tau
+  // (in ms) converts to events/ms.
+  const double tau_ms = static_cast<double>(kTau) / 1e9;
+  s.send_rate = send_rate_ / tau_ms;
+  s.loss_rate = loss_rate_ / tau_ms;
+  s.retransmit_rate = retransmit_rate_ / tau_ms;
+  s.tx_queue_ewma = tx_queue_ewma_;
+  s.rx_queue_ewma = rx_queue_ewma_;
+  s.tx_queue = last_tx_queue_;
+  s.rx_queue = last_rx_queue_;
+  s.in_burst = in_burst_;
+  s.in_outage = in_outage_;
+  return s;
+}
+
+double RailHealth::Snapshot::score() const {
+  if (in_outage) return 1.0;
+  // Fraction of recent sends that needed recovery, padded by burst state.
+  const double sends = std::max(send_rate, 1.0);
+  double sc = (loss_rate + retransmit_rate) / sends;
+  if (in_burst) sc += 0.25;
+  return std::min(sc, 1.0);
+}
+
+std::string RailHealth::to_json(const Snapshot& s) {
+  std::ostringstream os;
+  os << "{\"frames_sent\": " << s.frames_sent
+     << ", \"bytes_sent\": " << s.bytes_sent << ", \"drops\": " << s.drops
+     << ", \"burst_drops\": " << s.burst_drops
+     << ", \"corrupts\": " << s.corrupts
+     << ", \"retransmits\": " << s.retransmits
+     << ", \"burst_transitions\": " << s.burst_transitions
+     << ", \"outage_flaps\": " << s.outage_flaps
+     << ", \"send_rate_per_ms\": " << stats::json::number(s.send_rate)
+     << ", \"loss_rate_per_ms\": " << stats::json::number(s.loss_rate)
+     << ", \"retransmit_rate_per_ms\": "
+     << stats::json::number(s.retransmit_rate)
+     << ", \"tx_queue_ewma\": " << stats::json::number(s.tx_queue_ewma)
+     << ", \"rx_queue_ewma\": " << stats::json::number(s.rx_queue_ewma)
+     << ", \"tx_queue\": " << s.tx_queue << ", \"rx_queue\": " << s.rx_queue
+     << ", \"in_burst\": " << (s.in_burst ? "true" : "false")
+     << ", \"in_outage\": " << (s.in_outage ? "true" : "false")
+     << ", \"score\": " << stats::json::number(s.score()) << "}";
+  return os.str();
+}
+
+}  // namespace multiedge::trace

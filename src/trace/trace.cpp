@@ -25,6 +25,11 @@ std::string_view event_name(EventType t) {
     case EventType::kDsmDiffFlush: return "dsm_diff_flush";
     case EventType::kCollOp: return "coll_op";
     case EventType::kCollRound: return "coll_round";
+    case EventType::kOpRecv: return "op_recv";
+    case EventType::kKvOp: return "kv_op";
+    case EventType::kKvHandler: return "kv_handler";
+    case EventType::kKvRepl: return "kv_repl";
+    case EventType::kMemberProbe: return "member_probe";
   }
   return "unknown";
 }
@@ -51,6 +56,7 @@ std::string_view event_category(EventType t) {
     case EventType::kFenceRelease:
     case EventType::kOpSubmit:
     case EventType::kOpComplete:
+    case EventType::kOpRecv:
       return "conn";
     case EventType::kDsmPageFetch:
     case EventType::kDsmDiffFlush:
@@ -58,6 +64,12 @@ std::string_view event_category(EventType t) {
     case EventType::kCollOp:
     case EventType::kCollRound:
       return "coll";
+    case EventType::kKvOp:
+    case EventType::kKvHandler:
+    case EventType::kKvRepl:
+      return "kv";
+    case EventType::kMemberProbe:
+      return "member";
   }
   return "unknown";
 }

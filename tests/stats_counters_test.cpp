@@ -6,46 +6,52 @@ namespace multiedge::stats {
 namespace {
 
 TEST(Counters, AddAndGet) {
+  const CounterId x = CounterRegistry::intern("x");
   Counters c;
   EXPECT_EQ(c.get("x"), 0u);
-  c.add("x");
-  c.add("x", 4);
+  c.add(x);
+  c.add(x, 4);
   EXPECT_EQ(c.get("x"), 5u);
 }
 
 TEST(Counters, MergeAccumulates) {
+  const CounterId x = CounterRegistry::intern("x");
+  const CounterId y = CounterRegistry::intern("y");
   Counters a, b;
-  a.add("x", 2);
-  b.add("x", 3);
-  b.add("y", 1);
+  a.add(x, 2);
+  b.add(x, 3);
+  b.add(y, 1);
   a.merge(b);
-  EXPECT_EQ(a.get("x"), 5u);
-  EXPECT_EQ(a.get("y"), 1u);
+  EXPECT_EQ(a.get(x), 5u);
+  EXPECT_EQ(a.get(y), 1u);
 }
 
 TEST(Counters, DiffProducesPerPhaseDeltas) {
+  const CounterId frames = CounterRegistry::intern("frames");
+  const CounterId drops = CounterRegistry::intern("drops");
   Counters base;
-  base.add("frames", 100);
+  base.add(frames, 100);
   Counters now = base;
-  now.add("frames", 50);
-  now.add("drops", 2);
+  now.add(frames, 50);
+  now.add(drops, 2);
   Counters d = now.diff(base);
-  EXPECT_EQ(d.get("frames"), 50u);
-  EXPECT_EQ(d.get("drops"), 2u);
+  EXPECT_EQ(d.get(frames), 50u);
+  EXPECT_EQ(d.get(drops), 2u);
 }
 
 TEST(Counters, DiffIgnoresNonIncreasing) {
+  const CounterId x = CounterRegistry::intern("x");
   Counters base;
-  base.add("x", 10);
+  base.add(x, 10);
   Counters now;  // "x" absent: treated as no increase
   Counters d = now.diff(base);
-  EXPECT_EQ(d.get("x"), 0u);
+  EXPECT_EQ(d.get(x), 0u);
   EXPECT_TRUE(d.all().empty());
 }
 
 TEST(Counters, ClearEmpties) {
   Counters c;
-  c.add("x");
+  c.add(CounterRegistry::intern("x"));
   c.clear();
   EXPECT_TRUE(c.all().empty());
 }
@@ -67,11 +73,11 @@ TEST(CounterRegistry, FindDoesNotIntern) {
   EXPECT_EQ(CounterRegistry::find("reg_test_found").index(), id.index());
 }
 
-TEST(Counters, InternedIdPathMatchesStringPath) {
+TEST(Counters, NamedReadsSeeInternedWrites) {
   const CounterId id = CounterRegistry::intern("reg_test_mixed");
   Counters c;
-  c.add(id, 3);          // hot path: direct vector index
-  c.add("reg_test_mixed", 2);  // shim: interns then indexes
+  c.add(id, 3);
+  c.add(id, 2);
   EXPECT_EQ(c.get(id), 5u);
   EXPECT_EQ(c.get("reg_test_mixed"), 5u);
   const auto all = c.all();

@@ -46,6 +46,9 @@ void run_scale_scenario(std::uint64_t seed) {
   ccfg.topology.spines = 2;
   ccfg.memory_bytes_per_node = std::size_t{4} << 20;
   ccfg.protocol.check_invariants = true;
+  // Black-box ring: a red run ships a replayable postmortem (last-N events,
+  // counters, rail health, membership views) instead of just a log line.
+  ccfg.trace.flight_recorder = true;
 
   // One full node crash (both rails, never recovers) ...
   const int victim = 1 + static_cast<int>(rng.next_below(kNodes - 1));
@@ -86,6 +89,8 @@ void run_scale_scenario(std::uint64_t seed) {
       shadow_violations.push_back(
           "node " + std::to_string(observer) + " marked live node " +
           std::to_string(peer) + " dead at t=" + std::to_string(t));
+      cluster.trigger_postmortem("membership false down-mark: " +
+                                 shadow_violations.back());
     }
   });
 

@@ -107,6 +107,9 @@ Scenario make_scenario(std::uint64_t seed, Cluster*& cluster_out) {
   }
 
   sc.cfg = cfg;
+  // Black-box ring: if the invariant checker trips mid-scenario, the last-N
+  // events land in a postmortem dump ($MULTIEDGE_POSTMORTEM_DIR) for replay.
+  cfg.trace.flight_recorder = true;
   cluster_out = new Cluster(cfg);
   Cluster& cluster = *cluster_out;
 

@@ -3,13 +3,17 @@
 // zero-cost-when-off, and byte-identical traces across same-seed runs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/api.hpp"
+#include "kv/kv.hpp"
+#include "member/member.hpp"
 #include "stats/json.hpp"
 #include "trace/export.hpp"
 #include "trace/histogram.hpp"
@@ -429,6 +433,210 @@ TEST(GoldenDeterminism, FatTreeSameSeedRunsAreBitIdentical) {
   // And the two shapes are genuinely different fabrics, not aliases.
   const GoldenRun two = hierarchical_run(/*spines=*/1);
   EXPECT_NE(a.counters_fnv, two.counters_fnv);
+}
+
+// ------------------------------------------------------ causal span stitching
+
+struct KvTraceRun {
+  std::vector<Event> events;
+  int primary = -1;
+  int backup = -1;
+};
+
+// One KV PUT from node 0 to a partition served entirely by nodes 1/2, so the
+// request crosses the wire to the primary AND replicates to a distinct
+// backup: client op span -> request op -> primary handler -> replication op
+// -> backup apply, all under one trace id.
+KvTraceRun kv_traced_put() {
+  ClusterConfig cfg = config_1l_1g(3);
+  cfg.trace.enabled = true;
+  Cluster cluster(cfg);
+  kv::System sys(cluster);
+  KvTraceRun run;
+  std::string key;
+  for (int i = 0; key.empty() && i < 10000; ++i) {
+    std::string k = "span-key-" + std::to_string(i);
+    const int p = sys.ring().partition_of(kv::fnv1a64(k));
+    const auto& reps = sys.ring().replicas(p);
+    if (reps[0] != 0 && reps[1] != 0) {
+      key = k;
+      run.primary = reps[0];
+      run.backup = reps[1];
+    }
+  }
+  EXPECT_FALSE(key.empty());
+  sys.spawn_client(0, "cli", [&](kv::Client& c) {
+    EXPECT_EQ(c.put(key, "stitched"), kv::Status::kOk);
+  });
+  cluster.run();
+  run.events = cluster.tracer()->events();
+  return run;
+}
+
+TEST(SpanStitching, KvPutStitchesClientHandlerAndReplication) {
+  const KvTraceRun run = kv_traced_put();
+  ASSERT_GE(run.primary, 1);
+  ASSERT_GE(run.backup, 1);
+
+  const Event* op = nullptr;       // client-side root span
+  const Event* handler = nullptr;  // primary RPC handler
+  const Event* repl = nullptr;     // backup replication apply
+  for (const Event& e : run.events) {
+    if (e.type == EventType::kKvOp) {
+      ASSERT_EQ(op, nullptr) << "one PUT must record exactly one client span";
+      op = &e;
+    } else if (e.type == EventType::kKvHandler) {
+      ASSERT_EQ(handler, nullptr);
+      handler = &e;
+    } else if (e.type == EventType::kKvRepl) {
+      ASSERT_EQ(repl, nullptr);
+      repl = &e;
+    }
+  }
+  ASSERT_NE(op, nullptr);
+  ASSERT_NE(handler, nullptr);
+  ASSERT_NE(repl, nullptr);
+
+  // One distributed PUT = ONE trace id spanning all three nodes.
+  EXPECT_NE(op->trace_id, 0u);
+  EXPECT_EQ(op->node, 0);
+  EXPECT_EQ(op->parent_span, 0u) << "client op is the root span";
+  EXPECT_EQ(handler->trace_id, op->trace_id);
+  EXPECT_EQ(handler->node, run.primary);
+  EXPECT_NE(handler->parent_span, 0u);
+  EXPECT_EQ(repl->trace_id, op->trace_id);
+  EXPECT_EQ(repl->node, run.backup);
+  EXPECT_NE(repl->parent_span, 0u);
+
+  // Every parent link resolves to a recorded event of the SAME trace
+  // (op_submit instants anchor fire-and-forget ops whose ack never landed),
+  // and walking parents from the backup's apply span reaches the client
+  // root — the Perfetto rendering is a single connected tree.
+  auto find_span = [&](std::uint64_t span_id) -> const Event* {
+    for (const Event& e : run.events) {
+      if (e.trace_id == op->trace_id && e.span_id == span_id) return &e;
+    }
+    return nullptr;
+  };
+  const Event* cur = repl;
+  int hops = 0;
+  bool via_handler = false;
+  while (cur->parent_span != 0) {
+    cur = find_span(cur->parent_span);
+    ASSERT_NE(cur, nullptr) << "dangling parent link after " << hops << " hops";
+    if (cur == handler) via_handler = true;
+    ASSERT_LT(++hops, 16) << "parent chain does not terminate";
+  }
+  EXPECT_EQ(cur, op) << "replication chain must root at the client span";
+  EXPECT_TRUE(via_handler) << "replication must pass through the handler span";
+
+  // Timing sanity: child spans nest inside the trace's causal order.
+  EXPECT_LE(op->ts, handler->ts);
+  EXPECT_LE(handler->ts, repl->ts);
+}
+
+TEST(SpanStitching, SameSeedRunsStitchIdentically) {
+  const KvTraceRun a = kv_traced_put();
+  const KvTraceRun b = kv_traced_put();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const Event& x = a.events[i];
+    const Event& y = b.events[i];
+    ASSERT_EQ(x.ts, y.ts) << "event " << i;
+    ASSERT_EQ(x.dur, y.dur) << "event " << i;
+    ASSERT_EQ(static_cast<int>(x.type), static_cast<int>(y.type))
+        << "event " << i;
+    ASSERT_EQ(x.node, y.node) << "event " << i;
+    ASSERT_EQ(x.a, y.a) << "event " << i;
+    ASSERT_EQ(x.b, y.b) << "event " << i;
+    ASSERT_EQ(x.trace_id, y.trace_id) << "event " << i;
+    ASSERT_EQ(x.span_id, y.span_id) << "event " << i;
+    ASSERT_EQ(x.parent_span, y.parent_span) << "event " << i;
+  }
+}
+
+// ------------------------------------------------------------ flight recorder
+
+TEST(FlightRecorder, ForcedViolationDumpsPostmortem) {
+  const std::string path = ::testing::TempDir() + "multiedge_pm_forced.json";
+  std::remove(path.c_str());
+  {
+    ClusterConfig cfg = config_1l_1g(2);
+    cfg.trace.flight_recorder = true;
+    cfg.trace.postmortem_path = path;
+    cfg.protocol.check_invariants = true;
+    Cluster cluster(cfg);
+    constexpr std::size_t kSize = 32 * 1024;
+    const std::uint64_t src = cluster.memory(0).alloc(kSize);
+    const std::uint64_t dst = cluster.memory(1).alloc(kSize);
+    member::Service svc(cluster);  // contributes the "membership" section
+    cluster.spawn(0, "w", [&](Endpoint& ep) {
+      ep.connect(1).rdma_write(dst, src, kSize, kOpFlagNotify).wait();
+      svc.stop();
+    });
+    cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
+    cluster.run();
+
+    // Flight-recorder mode: the black-box ring is live (hooks attached),
+    // but no periodic samplers and no full-trace export machinery.
+    ASSERT_NE(cluster.tracer(), nullptr);
+    EXPECT_GT(cluster.tracer()->size(), 0u);
+    EXPECT_TRUE(cluster.time_series().empty());
+
+    // Tripping the invariant checker must write the black box exactly once.
+    ASSERT_NE(cluster.engine(0).checker(), nullptr);
+    cluster.engine(0).checker()->force_violation("trace_test forced failure");
+    EXPECT_EQ(cluster.trigger_postmortem("second trigger must be ignored"),
+              "");
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "postmortem file missing: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  stats::json::Value v;
+  std::string err;
+  ASSERT_TRUE(stats::json::parse(buf.str(), v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+
+  const stats::json::Value* reason = v.find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_NE(reason->string.find("invariant violation"), std::string::npos);
+  EXPECT_NE(reason->string.find("forced failure"), std::string::npos);
+  EXPECT_NE(v.find("sim_time_ps"), nullptr);
+
+  const stats::json::Value* events = v.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 0u);
+
+  const stats::json::Value* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("data_frames_rcvd"), nullptr);
+
+  const stats::json::Value* rails = v.find("rail_health");
+  ASSERT_NE(rails, nullptr);
+  const stats::json::Value* node0 = rails->find("node0");
+  ASSERT_NE(node0, nullptr);
+  EXPECT_EQ(node0->array.size(), 1u);  // config_1l_1g: one rail per node
+
+  const stats::json::Value* viols = v.find("invariant_violations");
+  ASSERT_NE(viols, nullptr);
+  ASSERT_GE(viols->array.size(), 1u);
+  EXPECT_NE(viols->array[0].string.find("forced failure"), std::string::npos);
+
+  const stats::json::Value* membership = v.find("membership");
+  ASSERT_NE(membership, nullptr);
+  const stats::json::Value* nodes = membership->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_EQ(nodes->array.size(), 2u);
+
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, PostmortemDisabledWhenRecorderOff) {
+  Cluster cluster(config_1l_1g(2));
+  EXPECT_EQ(cluster.tracer(), nullptr);
+  EXPECT_EQ(cluster.trigger_postmortem("nothing to dump"), "");
 }
 
 // ------------------------------------------------------------------- exports
