@@ -41,12 +41,27 @@ std::vector<Workload> workloads(bool quick) {
   ClusterConfig lossy = config_2l_1g(2);
   lossy.topology.link.drop_prob = 0.01;
   lossy.protocol.window_frames = 16;
+  // Small-op pair: identical bursts of 64-byte writes with submission
+  // batching + selective signaling off vs on. The uplift gate (see
+  // kMinSmallOpSpeedup) is on SIMULATED completion time — host costs per op
+  // drop — so it is exact and deterministic, not wall-clock noise.
+  const int small_ops = quick ? 600 : 4000;
+  ClusterConfig batched = config_1l_1g(2);
+  batched.protocol.batch_submission = true;
+  batched.protocol.submit_ring_slots = 16;
+  batched.protocol.signal_interval = 32;
   return {
       {"oneway-1L-1G", config_1l_1g(2), false, 64 * 1024, msgs},
       {"twoway-2Lu-1G", config_2lu_1g(2), true, 64 * 1024, msgs},
       {"retx-2L-1G-drop1", lossy, false, 64 * 1024, msgs},
+      {"smallop-unbatched", config_1l_1g(2), false, 64, small_ops},
+      {"smallop-batched", batched, false, 64, small_ops},
   };
 }
+
+// Gate for the smallop-batched vs smallop-unbatched simulated-time speedup
+// (enforced on --check against the committed BENCH_simspeed.json).
+constexpr double kMinSmallOpSpeedup = 1.3;
 
 struct RunStats {
   std::uint64_t frames = 0;  // data + explicit ack frames put on the wire
@@ -78,6 +93,10 @@ RunStats run_workload(const Workload& w) {
     for (int i = 0; i < w.messages; ++i) {
       c.rdma_write(dst1, src0, size, i + 1 == w.messages ? last_flags : none);
     }
+    // Under batching the tail of the burst (final notify included) may be
+    // parked in the submission ring; ring the doorbell before the fiber
+    // exits rather than relying on the protocol thread's idle sweep.
+    if (w.cfg.protocol.batch_submission) ep.flush();
   });
   cluster.spawn(1, "rcv", [&](Endpoint& ep) {
     Connection c = ep.accept(0);
@@ -169,6 +188,23 @@ int main(int argc, char** argv) {
             << total_fps / 1e3 << " Kframes/s, "
             << per_sec(total.events, total.wall_ms) / 1e3 << " Kevents/s\n";
 
+  // --- small-op batching uplift (simulated time, deterministic) -----------
+  auto find_run = [&](const char* name) -> const RunStats& {
+    for (const auto& [w, r] : results) {
+      if (w.name == name) return r;
+    }
+    std::cerr << "ERROR: missing workload " << name << '\n';
+    std::exit(2);
+  };
+  const RunStats& r_soff = find_run("smallop-unbatched");
+  const RunStats& r_son = find_run("smallop-batched");
+  const double small_speedup =
+      r_son.sim_ms > 0 ? r_soff.sim_ms / r_son.sim_ms : 0.0;
+  std::cout << "\n== small-op batching (64 B writes, simulated time) ==\n"
+            << "unbatched " << r_soff.sim_ms << " ms -> batched "
+            << r_son.sim_ms << " ms: speedup " << small_speedup << "x (gate >= "
+            << kMinSmallOpSpeedup << "x)\n";
+
   // --- trace overhead: the recorder must be a pure observer ---------------
   // Rerun the first workload with the flight recorder and with full tracing
   // enabled. Wall-clock cost is reported; the protocol counter fingerprint
@@ -233,6 +269,12 @@ int main(int argc, char** argv) {
         << ", \"full_overhead_pct\": "
         << stats::json::number(overhead_pct(r_full))
         << ", \"counters_identical\": true},\n";
+    out << "  \"small_op\": {\"unbatched\": \"smallop-unbatched\", "
+        << "\"batched\": \"smallop-batched\", \"sim_ms_unbatched\": "
+        << stats::json::number(r_soff.sim_ms) << ", \"sim_ms_batched\": "
+        << stats::json::number(r_son.sim_ms) << ", \"sim_speedup\": "
+        << stats::json::number(small_speedup) << ", \"min_speedup\": "
+        << stats::json::number(kMinSmallOpSpeedup) << "},\n";
     out << "  \"total\": {\"frames\": " << total.frames
         << ", \"events\": " << total.events
         << ", \"wall_ms\": " << stats::json::number(total.wall_ms)
@@ -268,6 +310,17 @@ int main(int argc, char** argv) {
     if (total_fps < floor) {
       std::cerr << "CHECK FAIL: total frames/sec " << total_fps
                 << " regressed >20% vs baseline " << base_fps->number << '\n';
+      ok = false;
+    }
+    // Small-op uplift gate: simulated-time speedup must stay at or above the
+    // baseline's committed floor (exact, no noise allowance needed).
+    const stats::json::Value* so = doc.find("small_op");
+    const stats::json::Value* gate = so ? so->find("min_speedup") : nullptr;
+    const double min_speedup =
+        gate && gate->is_number() ? gate->number : kMinSmallOpSpeedup;
+    if (small_speedup < min_speedup) {
+      std::cerr << "CHECK FAIL: small-op batching speedup " << small_speedup
+                << "x below gate " << min_speedup << "x\n";
       ok = false;
     }
     if (!ok) return 1;

@@ -84,6 +84,9 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench \
     --target kv_bench --target scale_bench
+  # Protocol smoke: throughput floor + exact counter fingerprints, plus the
+  # small-op submission-batching gate (smallop-batched must finish >= 1.3x
+  # faster in simulated time than smallop-unbatched; see bench/simspeed.cpp).
   "$BENCH_DIR"/bench/simspeed --check=BENCH_simspeed.json
   # Collective layer: headline properties (log-depth barrier wins at 16
   # nodes, ring all-reduce saturates both 2L rails) plus exact per-workload
@@ -91,7 +94,9 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   "$BENCH_DIR"/bench/coll_bench --check=BENCH_coll.json
   # Key-value store: zipfian one-sided GETs must get >= 1.5x throughput from
   # the second rail and hold the committed p99 tail, with exact counter
-  # fingerprints against BENCH_kv.json.
+  # fingerprints against BENCH_kv.json. Also gates the PUT-heavy hot-server
+  # pair: doorbell batching + selective signaling + server burst drain must
+  # lift small-value throughput >= 1.3x over the unbatched run.
   "$BENCH_DIR"/bench/kv_bench --check=BENCH_kv.json
   # Scale-out: SWIM vs mesh convergence, probe-rate asymptotics at 128
   # nodes, and KV/collective scaling on hierarchical fabrics, against the

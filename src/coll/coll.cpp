@@ -169,7 +169,11 @@ void Communicator::put(int peer, std::uint64_t remote_va,
                        std::uint64_t local_va, std::uint32_t bytes) {
   // Un-notified, un-waited writes; the fenced signal that follows is what
   // publishes them. Chunking to one window's worth keeps successive chunks
-  // (and both rails, when striping) in flight concurrently.
+  // (and both rails, when striping) in flight concurrently. Under
+  // ProtocolConfig::batch_submission these chunks ride the submission ring
+  // and the urgent signal() that always follows on the same connection is
+  // the doorbell that releases them — one syscall per put+signal pair
+  // instead of one per chunk, with ordering kept by the backward fence.
   const std::uint32_t chunk = chunk_bytes();
   Connection& c = conn_to(peer);
   for (std::uint32_t off = 0; off < bytes; off += chunk) {

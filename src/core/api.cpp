@@ -16,12 +16,22 @@ namespace multiedge {
 // Connection / operations
 // ---------------------------------------------------------------------------
 
+void OpHandle::wait() const {
+  if (op_ && !op_->complete && ep_ != nullptr) ep_->flush();
+  while (op_ && !op_->complete) op_->waiters.wait();
+}
+
 OpHandle Connection::rdma_operation(std::uint64_t remote_va,
                                     std::uint64_t local_va, std::uint32_t size,
                                     RdmaOp op, std::uint16_t flags) {
   assert(conn_ != nullptr && "operation on an unconnected handle");
   Endpoint& ep = *ep_;
   const proto::HostCostModel& costs = ep.engine().costs();
+  // A batched submit is a user-level ring append: the kernel entry is
+  // deferred to the doorbell that later drains the ring (submit_op charges
+  // it there). Eager submits pay it here, per op, as before.
+  const sim::Time entry =
+      conn_->will_batch(flags) ? sim::Time{0} : costs.syscall_cost;
 
   if (op == RdmaOp::kWrite) {
     // §2.3 initiator path: syscall, then copy user data into kernel-level
@@ -30,14 +40,24 @@ OpHandle Connection::rdma_operation(std::uint64_t remote_va,
     // straight from user memory.
     const sim::Time copy =
         ep.is_registered(local_va, size) ? 0 : costs.copy_cost_app(size);
-    ep.charge_protocol(costs.syscall_cost + costs.op_build_cost + copy);
+    ep.charge_protocol(entry + costs.op_build_cost + copy);
     auto data = ep.memory().view(local_va, size);
-    return OpHandle(conn_->submit_write(remote_va, data, flags, ep.app_cpu()));
+    return OpHandle(conn_->submit_write(remote_va, data, flags, ep.app_cpu()),
+                    &ep);
   }
   // Reads carry no data out, only the request descriptor.
-  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost);
+  ep.charge_protocol(entry + costs.op_build_cost);
   return OpHandle(conn_->submit_read(local_va, remote_va, size, flags,
-                                     ep.app_cpu()));
+                                     ep.app_cpu()),
+                  &ep);
+}
+
+void Connection::flush() {
+  assert(conn_ != nullptr);
+  if (conn_->submit_ring_depth() == 0) return;
+  // The explicit doorbell is the one kernel entry the whole batch shares.
+  ep_->charge_protocol(ep_->engine().costs().syscall_cost);
+  conn_->flush(ep_->app_cpu());
 }
 
 OpHandle Connection::rdma_scatter_write(std::uint64_t remote_base_va,
@@ -58,12 +78,14 @@ OpHandle Connection::rdma_scatter_write(std::uint64_t remote_base_va,
     data.push_back(ep.memory().view(s.local_va, s.length));
     total += s.length;
   }
-  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost +
-                     costs.copy_cost_app(total));
+  const sim::Time entry =
+      conn_->will_batch(flags) ? sim::Time{0} : costs.syscall_cost;
+  ep.charge_protocol(entry + costs.op_build_cost + costs.copy_cost_app(total));
   const std::vector<std::byte> encoded = proto::encode_scatter_payload(
       chunks, std::span<const std::span<const std::byte>>(data));
   return OpHandle(
-      conn_->submit_scatter_write(remote_base_va, encoded, flags, ep.app_cpu()));
+      conn_->submit_scatter_write(remote_base_va, encoded, flags, ep.app_cpu()),
+      &ep);
 }
 
 OpHandle Connection::rdma_gather_read(std::span<const GatherSegment> segments,
@@ -89,10 +111,13 @@ OpHandle Connection::rdma_gather_read(std::span<const GatherSegment> segments,
     total += s.length;
   }
   // Like plain reads, only the request descriptor leaves the node.
-  ep.charge_protocol(costs.syscall_cost + costs.op_build_cost);
+  const sim::Time entry =
+      conn_->will_batch(flags) ? sim::Time{0} : costs.syscall_cost;
+  ep.charge_protocol(entry + costs.op_build_cost);
   const std::vector<std::byte> encoded = proto::encode_gather_request(chunks);
   return OpHandle(conn_->submit_gather_read(local_base, remote_base_va, encoded,
-                                            total, flags, ep.app_cpu()));
+                                            total, flags, ep.app_cpu()),
+                  &ep);
 }
 
 // ---------------------------------------------------------------------------
@@ -152,6 +177,9 @@ bool Endpoint::is_registered(std::uint64_t va, std::size_t len) const {
 }
 
 Notification Endpoint::wait_notification(int tag) {
+  // About to block: push out anything still parked in a submission ring
+  // (often the request whose reply we are waiting for).
+  if (!engine_.has_notification(tag)) flush();
   while (!engine_.has_notification(tag)) {
     engine_.notify_events().wait();
   }
@@ -163,6 +191,12 @@ bool Endpoint::poll_notification(Notification* out, int tag) {
   if (!engine_.has_notification(tag)) return false;
   *out = engine_.pop_notification(tag);
   return true;
+}
+
+void Endpoint::flush() {
+  if (!engine_.has_dirty_rings()) return;
+  charge_protocol(engine_.costs().syscall_cost);
+  engine_.flush_submission_rings(app_cpu_);
 }
 
 // ---------------------------------------------------------------------------
@@ -313,6 +347,7 @@ void Cluster::setup_tracing() {
         std::make_unique<trace::TimeSeries>(p + "window_occupancy"));
     series_.push_back(
         std::make_unique<trace::TimeSeries>(p + "outstanding_ops"));
+    series_.push_back(std::make_unique<trace::TimeSeries>(p + "submit_ring"));
     for (int r = 0; r < rails; ++r) {
       const std::string rp = p + "rail" + std::to_string(r) + ".";
       series_.push_back(std::make_unique<trace::TimeSeries>(rp + "tx_q"));
@@ -333,13 +368,15 @@ void Cluster::sample_time_series() {
   const int rails = cfg_.topology.rails;
   std::size_t s = 0;
   for (int i = 0; i < num_nodes(); ++i) {
-    double window = 0, ops = 0;
+    double window = 0, ops = 0, ring = 0;
     for (const auto& c : nodes_[i]->engine->connections()) {
       window += static_cast<double>(c->frames_in_flight());
       ops += static_cast<double>(c->outstanding_ops());
+      ring += static_cast<double>(c->submit_ring_depth());
     }
     series_[s++]->sample(now, window);
     series_[s++]->sample(now, ops);
+    series_[s++]->sample(now, ring);
     for (int r = 0; r < rails; ++r) {
       const net::Nic& nic = network_->nic(i, r);
       series_[s++]->sample(

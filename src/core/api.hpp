@@ -43,9 +43,11 @@ namespace multiedge {
 
 // Re-export the operation flags and notification type at API level.
 using proto::kOpFlagBackwardFence;
+using proto::kOpFlagBatched;
 using proto::kOpFlagForwardFence;
 using proto::kOpFlagNone;
 using proto::kOpFlagNotify;
+using proto::kOpFlagSignaled;
 using proto::kOpFlagSolicit;
 using proto::kOpFlagUrgent;
 using proto::Notification;
@@ -61,6 +63,8 @@ class OpHandle {
  public:
   OpHandle() = default;
   explicit OpHandle(proto::SendOpPtr op) : op_(std::move(op)) {}
+  OpHandle(proto::SendOpPtr op, Endpoint* ep)
+      : op_(std::move(op)), ep_(ep) {}
 
   /// Non-blocking completion query.
   bool test() const { return op_ && op_->complete; }
@@ -71,10 +75,10 @@ class OpHandle {
 
   /// Block the calling fiber until the operation completes. A remote write
   /// completes when every frame has been acknowledged; a remote read when
-  /// all response data has been applied to local memory.
-  void wait() const {
-    while (op_ && !op_->complete) op_->waiters.wait();
-  }
+  /// all response data has been applied to local memory. With
+  /// batch_submission, waiting first flushes the node's submission rings —
+  /// an op parked behind an un-rung doorbell would otherwise never start.
+  void wait() const;
 
   /// Completion hook (runs in protocol context; used by the DSM).
   void on_complete(std::function<void()> fn) const {
@@ -90,6 +94,7 @@ class OpHandle {
 
  private:
   proto::SendOpPtr op_;
+  Endpoint* ep_ = nullptr;  // for the flush-on-wait doorbell (may be null)
 };
 
 enum class RdmaOp : std::uint8_t { kWrite, kRead };
@@ -148,6 +153,12 @@ class Connection {
                             std::uint64_t remote_base_va,
                             std::uint16_t flags = 0);
 
+  /// Ring this connection's submission-ring doorbell: one kernel entry
+  /// releases every op batched since the last doorbell. No-op (and free)
+  /// when the ring is empty — so unconditional flushes after a burst are
+  /// safe on any configuration.
+  void flush();
+
   int peer() const { return conn_->peer_node(); }
   std::size_t num_links() const { return conn_->num_links(); }
   const stats::Counters& counters() const { return conn_->counters(); }
@@ -193,6 +204,13 @@ class Endpoint {
   /// other tags' notifications queued for their consumers.
   Notification wait_notification(int tag = -1);
   bool poll_notification(Notification* out, int tag = -1);
+
+  /// Flush every dirty submission ring on this node (batch_submission):
+  /// one kernel entry covers all of them. No-op (and free) when nothing is
+  /// batched. Blocking calls (OpHandle::wait, wait_notification) flush
+  /// implicitly; issue-then-compute patterns should flush explicitly so the
+  /// batched burst starts moving before the computation.
+  void flush();
 
   // --- application-side time accounting ---
   /// Charge application compute time to this node's application CPU.
@@ -349,7 +367,8 @@ class Cluster {
   std::vector<std::unique_ptr<sim::Process>> processes_;
 
   std::unique_ptr<trace::TraceRecorder> tracer_;
-  // Per node: [window_occupancy, outstanding_ops, rail0.tx_q, rail0.rx_q, ...]
+  // Per node: [window_occupancy, outstanding_ops, submit_ring,
+  //            rail0.tx_q, rail0.rx_q, ...]
   std::vector<std::unique_ptr<trace::TimeSeries>> series_;
   std::unique_ptr<sim::Timer> sample_timer_;
 

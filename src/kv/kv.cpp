@@ -295,6 +295,16 @@ void Server::serve(Endpoint& ep) {
       } else if (ep.poll_notification(&n, cfg.req_tag)) {
         handle_request(ep, n);
         did = true;
+        // Burst drain (server_burst > 1): handle whatever requests are
+        // already queued back-to-back — their responses are ring-batched —
+        // then push the whole burst out with one doorbell. With the default
+        // burst of 1 this degenerates to exactly the original shape.
+        for (int i = 1;
+             i < cfg.server_burst && ep.poll_notification(&n, cfg.req_tag);
+             ++i) {
+          handle_request(ep, n);
+        }
+        if (cfg.server_burst > 1) ep.flush();
       }
       lock_.unlock();
     }
@@ -518,13 +528,17 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   const std::uint32_t bytes =
       static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() + value.size());
 
-  const std::uint16_t flags = kOpFlagNotify | kOpFlagUrgent |
-                              kOpFlagBackwardFence |
-                              op_tag_flags(cfg.repl_tag);
+  // With server bursting, the fan-out writes ride the submission rings and
+  // one doorbell pushes the whole replication round out; the flush below is
+  // mandatory before blocking on acks (a parked write would never start).
+  std::uint16_t flags = kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
+                        op_tag_flags(cfg.repl_tag);
+  if (cfg.server_burst > 1) flags |= kOpFlagBatched;
   for (int t : targets) {
     Connection& cn = sys_.conn_to(ep, t);
     cn.rdma_write(dom.repl_slot_va(node_), build, bytes, flags);
   }
+  if (cfg.server_burst > 1) ep.flush();
   counters_.add(kCtrReplSent, targets.size());
 
   // Wait for every live backup's ack (its per-primary ack word reaching this
@@ -624,9 +638,13 @@ void Server::respond(Endpoint& ep, int client_node, int cslot,
   rh->val_len = static_cast<std::uint32_t>(value.size());
   std::memcpy(mem.as<std::byte>(build + sizeof(RespHeader)), value.data(),
               value.size());
-  const std::uint16_t flags =
+  std::uint16_t flags =
       kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
       op_tag_flags(static_cast<std::uint8_t>(cfg.resp_tag_base + cslot));
+  // Under a serve-loop burst the responses of the whole burst share one
+  // doorbell (serve() flushes after the drain); the response data is copied
+  // into frames at submit, so reusing resp_build_va per response stays safe.
+  if (cfg.server_burst > 1) flags |= kOpFlagBatched;
   sys_.conn_to(ep, client_node)
       .rdma_write(dom.resp_slot_va(cslot, node_), build,
                   static_cast<std::uint32_t>(sizeof(RespHeader) + value.size()),
@@ -746,12 +764,22 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
     std::byte* body = mem.as<std::byte>(build + sizeof(ReqHeader));
     std::memcpy(body, key.data(), key.size());
     std::memcpy(body + key.size(), value.data(), value.size());
+    // Under submission batching the request rides the ring as a BATCHED
+    // (non-urgent) op and is pushed out by the engine-wide flush below: one
+    // doorbell syscall can release requests several client fibers on this
+    // node just parked, and dropping the urgency lets the server's protocol
+    // thread harvest arriving requests in notification batches. Without
+    // batching the request is urgent — submitted and transmitted eagerly.
+    const bool batch = ep_.engine().config().batch_submission;
+    const std::uint16_t req_flags = static_cast<std::uint16_t>(
+        kOpFlagNotify | kOpFlagBackwardFence | op_tag_flags(cfg.req_tag) |
+        (batch ? kOpFlagBatched : kOpFlagUrgent));
     sys_.conn_to(ep_, primary)
         .rdma_write(dom.req_slot_va(node_, cslot_), build,
                     static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() +
                                                value.size()),
-                    kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
-                        op_tag_flags(cfg.req_tag));
+                    req_flags);
+    if (batch) ep_.flush();  // the poll loop below never auto-flushes
     counters_.add(kCtrRpcSent);
 
     // Await the matching response; a resend can race a late original, so

@@ -90,6 +90,13 @@ struct KvConfig {
   std::uint8_t repl_tag = 9;
   std::uint8_t ack_tag = 10;
   std::uint8_t resp_tag_base = 16;  // + client slot
+  /// Max requests the server drains per poll before flushing. With 1
+  /// (default) each response is doorbelled individually — the pre-batching
+  /// behavior on every configuration. With > 1 the server handles up to this
+  /// many queued requests back-to-back, tags their responses kOpFlagBatched,
+  /// and rings one doorbell for the burst — only meaningful together with
+  /// ProtocolConfig::batch_submission.
+  int server_burst = 1;
 
   // --- timing ---
   /// Membership probe period (one SWIM round per node per period).

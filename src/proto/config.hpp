@@ -73,6 +73,31 @@ struct ProtocolConfig {
   /// Test instrumentation: defaults off; when off the only cost is one null
   /// pointer check per hook site.
   bool check_invariants = false;
+
+  // --- Submission batching & selective signaling (DESIGN.md §15) ---------
+
+  /// Doorbell-batched submission rings. When off (default), every submit_*
+  /// pays syscall_cost and kicks the transmit path immediately — the
+  /// pre-batching behavior, bit-identical counters. When on, non-urgent
+  /// submits append a descriptor to a per-connection ring; the doorbell
+  /// (one syscall_cost + submit_desc_cost per descriptor) is rung on an
+  /// explicit flush(), when the ring reaches submit_ring_slots, or by the
+  /// protocol thread's idle sweep. Urgent/fenced ops ring the doorbell
+  /// eagerly unless tagged kOpFlagBatched by the caller.
+  bool batch_submission = false;
+
+  /// Ring-threshold doorbell: an append that fills the ring to this many
+  /// descriptors rings the doorbell itself (bounds batching latency and
+  /// ring memory). Must be >= 1.
+  std::uint32_t submit_ring_slots = 16;
+
+  /// Selective completion signaling: mark only every Nth op per connection
+  /// as signaled (solicits prompt acknowledgment); fenced/urgent/notify/
+  /// solicit ops are always signaled. 1 (default) = every op signaled, the
+  /// pre-batching wire behavior. Unsignaled ops still complete — cumulative
+  /// ACKs cover the unsignaled prefix when a signaled op or the receiver's
+  /// frame-count/timer thresholds trigger an ACK.
+  std::uint32_t signal_interval = 1;
 };
 
 /// CPU costs charged by the simulated hosts. All values are calibration
@@ -80,12 +105,29 @@ struct ProtocolConfig {
 /// Linux 2.6.12 kernel); defaults reproduce the paper's measured envelope:
 /// ~30 us minimum one-way latency, ~2 us host initiation overhead, >95% of
 /// 1-GBit/s line rate, ~88% of 10-GBit/s (sender-side bound).
+///
+/// Units: every `sim::Time` field is picoseconds (sim::Time's base unit;
+/// always constructed via the sim::ns/us helpers), charged as busy time on
+/// exactly one simulated CPU per event. The two `*_ns_per_byte` fields are
+/// nanoseconds per byte (doubles, so sub-ns/B memcpy rates are exact);
+/// copy_cost_app/copy_cost_kernel convert them to sim::Time for a given
+/// transfer size. Expected magnitude ordering, asserted by
+/// tests/proto_config_test.cpp: per-byte costs (fractions of a ns/B)
+/// < per-frame costs (tens of ns..~1 us: tx_complete < rx_frame <
+/// tx_frame) < per-event kernel costs (~1 us+: syscall, irq, notify)
+/// < thread_wakeup_cost (a full schedule + context switch, the most
+/// expensive single event).
 struct HostCostModel {
-  /// Entering the kernel for RDMA_operation (user library -> protocol layer).
+  /// Entering the kernel for RDMA_operation (user library -> protocol
+  /// layer): trap, register save, capability checks. Charged once per
+  /// submitted op — or, with batch_submission, once per DOORBELL, which is
+  /// what makes doorbell coalescing pay.
   sim::Time syscall_cost = sim::us_d(1.2);
-  /// Per-operation bookkeeping when an op is created.
+  /// Per-operation bookkeeping when an op is created (descriptor fill,
+  /// window accounting). Charged per op even when batched.
   sim::Time op_build_cost = sim::ns(300);
-  /// User -> kernel DMA-buffer copy on the initiating CPU, per byte.
+  /// User -> kernel DMA-buffer copy on the initiating CPU, per byte
+  /// (ns/B). ~3.3 GB/s: an uncached memcpy on the paper's Opterons.
   double app_copy_ns_per_byte = 0.30;
   /// Per-frame send cost: header construction + driver post + DMA descriptor.
   sim::Time tx_frame_cost = sim::ns(820);
@@ -93,7 +135,8 @@ struct HostCostModel {
   sim::Time tx_complete_cost = sim::ns(60);
   /// Per-frame receive processing (protocol thread).
   sim::Time rx_frame_cost = sim::ns(600);
-  /// Kernel -> user copy at the receiver, per byte.
+  /// Kernel -> user copy at the receiver, per byte (ns/B). Cheaper than
+  /// app_copy: the kernel buffer is cache-warm from rx processing.
   double kernel_copy_ns_per_byte = 0.22;
   /// Interrupt entry + minimal handler (mask + signal protocol thread).
   sim::Time irq_cost = sim::us_d(1.5);
@@ -101,12 +144,27 @@ struct HostCostModel {
   sim::Time thread_wakeup_cost = sim::us_d(3.0);
   /// Building and posting an explicit ACK/NACK frame.
   sim::Time ack_build_cost = sim::ns(400);
-  /// Delivering a completion notification to user level.
+  /// Delivering a completion notification to user level (first
+  /// notification of a batch: queue insert + waiter wakeup).
   sim::Time notify_cost = sim::us_d(1.0);
+  /// Each ADDITIONAL notification delivered in the same harvest batch
+  /// (batch_submission only): queue insert without a separate wakeup.
+  sim::Time notify_item_cost = sim::ns(150);
+  /// Per-descriptor cost of a doorbell drain (batch_submission only): the
+  /// protocol layer walks the submission ring and validates/queues each
+  /// descriptor. A doorbell covering n descriptors costs
+  /// syscall_cost + n * submit_desc_cost — amortizing the kernel entry is
+  /// the whole point of the ring.
+  sim::Time submit_desc_cost = sim::ns(80);
 
   /// Preset for the paper's §6 future-work hybrid: a NIC that offloads the
   /// edge-protocol fast path (framing, ack processing, copies via DMA
-  /// engines). Host costs shrink to command-queue interactions.
+  /// engines). Host costs shrink to command-queue interactions: the
+  /// "syscall" is no longer a kernel trap at all but a single uncached
+  /// MMIO store to the NIC's doorbell register (~500 ns posted-write
+  /// latency on the paper-era PCI-X hosts), which is why syscall_cost
+  /// drops 2.4x rather than to zero — the doorbell write itself is the
+  /// irreducible cost, and exactly the one batch_submission amortizes.
   static HostCostModel offload() {
     HostCostModel c;
     c.syscall_cost = sim::ns(500);        // doorbell write, no kernel entry
@@ -120,6 +178,8 @@ struct HostCostModel {
     c.thread_wakeup_cost = sim::us_d(2.0);
     c.ack_build_cost = 0;                 // acks generated on the NIC
     c.notify_cost = sim::ns(600);
+    c.notify_item_cost = sim::ns(100);
+    c.submit_desc_cost = sim::ns(40);     // NIC parses the ring via DMA
     return c;
   }
 

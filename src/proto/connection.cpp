@@ -69,6 +69,17 @@ const stats::CounterId kCtrReadsCompleted =
     stats::CounterRegistry::intern("reads_completed");
 const stats::CounterId kCtrAckSendFailed =
     stats::CounterRegistry::intern("ack_send_failed");
+// Batching/signaling counters (DESIGN.md §15). Only ever incremented when
+// batch_submission / signal_interval>1 is configured, so default-config
+// counter fingerprints never see them.
+const stats::CounterId kCtrDoorbells =
+    stats::CounterRegistry::intern("doorbells");
+const stats::CounterId kCtrDoorbellOps =
+    stats::CounterRegistry::intern("doorbell_ops");
+const stats::CounterId kCtrOpsSignaled =
+    stats::CounterRegistry::intern("ops_signaled");
+const stats::CounterId kCtrOpsUnsignaled =
+    stats::CounterRegistry::intern("ops_unsignaled");
 
 // Adopt the submitting fiber's span (if any) as `op`'s parent and give the
 // op its own child span. No-op unless a recorder exists and the fiber
@@ -146,93 +157,172 @@ void Connection::fragment_op(FrameKind kind, OpType op_type, SendOp& op,
   op.last_seq = next_seq_ - 1;
 }
 
+bool Connection::will_batch(std::uint16_t flags) const {
+  if (!engine_.config().batch_submission) return false;
+  // Urgent and fenced ops doorbell eagerly (latency / ordering visibility),
+  // unless the caller explicitly opted the op into the ring with
+  // kOpFlagBatched (it then relies on an explicit flush or a successor's
+  // doorbell; wire-level urgency is preserved either way).
+  if (flags & kOpFlagBatched) return true;
+  return (flags &
+          (kOpFlagUrgent | kOpFlagBackwardFence | kOpFlagForwardFence)) == 0;
+}
+
+std::uint16_t Connection::apply_signaling(std::uint16_t flags) {
+  const std::uint32_t interval = engine_.config().signal_interval;
+  if (interval <= 1) return flags;  // default: wire image unchanged
+  // Fenced/urgent/notify/solicit ops are always signaled — someone is (or
+  // may be) blocked on them; plain ops are signaled every Nth.
+  constexpr std::uint16_t kAlwaysSignaled =
+      kOpFlagUrgent | kOpFlagSolicit | kOpFlagNotify | kOpFlagBackwardFence |
+      kOpFlagForwardFence;
+  bool signaled = (flags & kAlwaysSignaled) != 0;
+  if (!signaled && ++unsignaled_run_ >= interval) signaled = true;
+  if (signaled) {
+    unsignaled_run_ = 0;
+    counters_.add(kCtrOpsSignaled);
+    return static_cast<std::uint16_t>(flags | kOpFlagSignaled);
+  }
+  counters_.add(kCtrOpsUnsignaled);
+  return flags;
+}
+
+void Connection::ring_doorbell(sim::Cpu& cpu, bool charge_syscall) {
+  if (ring_depth_ == 0 && submit_barrier_ >= next_seq_) return;
+  const HostCostModel& costs = engine_.costs();
+  sim::Time cost =
+      static_cast<sim::Time>(ring_depth_) * costs.submit_desc_cost;
+  if (charge_syscall) cost += costs.syscall_cost;
+  if (cost > 0) cpu.charge(cost);
+  counters_.add(kCtrDoorbells);
+  counters_.add(kCtrDoorbellOps, ring_depth_);
+  if (auto* t = engine_.tracer()) {
+    t->record(engine_.sim().now(), trace::EventType::kDoorbell,
+              engine_.node_id(), -1, static_cast<int>(local_id_), ring_depth_,
+              next_seq_ - submit_barrier_);
+  }
+  ring_depth_ = 0;
+  submit_barrier_ = next_seq_;
+  try_transmit(cpu);
+}
+
+SendOpPtr Connection::submit_op(const SubmitSpec& s,
+                                std::initializer_list<stats::CounterId> ctrs,
+                                bool count_bytes, sim::Cpu& cpu) {
+  auto op = std::make_shared<SendOp>();
+  op->op_id = next_op_id_++;
+  op->kind = s.op_kind;
+  op->size = s.op_bytes;
+  if (s.parent != nullptr) {
+    if (auto* t = engine_.tracer(); t != nullptr && s.parent->active()) {
+      op->parent_span = s.parent->span_id;
+      op->ctx = t->new_child(*s.parent);
+    }
+  } else {
+    adopt_span(engine_.tracer(), *op);
+  }
+
+  const bool ring_kept = s.allow_ring && will_batch(s.flags);
+  // kOpFlagBatched is a submit-side hint only; it never reaches the wire.
+  op->flags = static_cast<std::uint16_t>(apply_signaling(s.flags) &
+                                         ~kOpFlagBatched);
+
+  std::uint64_t dep = kNoFenceDep;
+  if (s.use_fence_dep) {
+    dep = ffence_latest_;
+    if (s.flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
+  }
+  fragment_op(s.frame_kind, s.op_type, *op, dep, s.remote_va, s.aux_va,
+              s.data, s.wire_size);
+  op->submitted_at = engine_.sim().now();
+  if (s.track_read) {
+    pending_reads_.insert_or_assign(op->op_id, op);
+  } else {
+    write_ops_.push_back(op);
+  }
+  for (stats::CounterId c : ctrs) counters_.add(c);
+  if (count_bytes) counters_.add(kCtrBytesSubmitted, s.data.size());
+  if (s.record_submit) {
+    if (auto* t = engine_.tracer()) {
+      t->record(op->submitted_at, trace::EventType::kOpSubmit,
+                engine_.node_id(), -1, static_cast<int>(local_id_), op->op_id,
+                op->size, op->ctx, op->parent_span);
+    }
+  }
+
+  if (ring_kept) {
+    ++ring_depth_;
+    if (ring_depth_ >=
+        std::max<std::uint32_t>(engine_.config().submit_ring_slots, 1)) {
+      // Ring-threshold doorbell: the append that fills the ring pays the
+      // kernel entry itself, on the submitting CPU.
+      ring_doorbell(cpu, /*charge_syscall=*/true);
+    } else {
+      engine_.note_dirty_ring(this);
+    }
+  } else if (engine_.config().batch_submission && ring_depth_ > 0) {
+    // An eager (urgent/fenced) op flushes the ring: its kernel entry —
+    // already charged by the user-level library — doubles as the doorbell
+    // for the buffered predecessors, which must go out first anyway (frames
+    // transmit in sequence order).
+    ring_doorbell(cpu, /*charge_syscall=*/false);
+  } else {
+    submit_barrier_ = next_seq_;
+    try_transmit(cpu);
+  }
+  return op;
+}
+
 SendOpPtr Connection::submit_write(std::uint64_t remote_va,
                                    std::span<const std::byte> data,
                                    std::uint16_t flags, sim::Cpu& cpu) {
   assert(!data.empty() && "zero-length remote writes are not defined");
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kWrite;
-  op->flags = flags;
-  op->size = static_cast<std::uint32_t>(data.size());
-  adopt_span(engine_.tracer(), *op);
-
-  const std::uint64_t dep = ffence_latest_;
-  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
-
-  fragment_op(FrameKind::kData, OpType::kWrite, *op, dep, remote_va, 0, data,
-              op->size);
-  op->submitted_at = engine_.sim().now();
-  write_ops_.push_back(op);
-  counters_.add(kCtrOpsSubmitted);
-  counters_.add(kCtrBytesSubmitted, data.size());
-  if (auto* t = engine_.tracer()) {
-    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
-              op->parent_span);
-  }
-  try_transmit(cpu);
-  return op;
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kData;
+  s.op_type = OpType::kWrite;
+  s.op_kind = OpKind::kWrite;
+  s.remote_va = remote_va;
+  s.data = data;
+  s.wire_size = s.op_bytes = static_cast<std::uint32_t>(data.size());
+  s.flags = flags;
+  s.allow_ring = true;
+  return submit_op(s, {kCtrOpsSubmitted}, /*count_bytes=*/true, cpu);
 }
 
 SendOpPtr Connection::submit_scatter_write(std::uint64_t remote_base_va,
                                            std::span<const std::byte> encoded,
                                            std::uint16_t flags, sim::Cpu& cpu) {
   assert(!encoded.empty());
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kWrite;
-  op->flags = flags;
-  op->size = static_cast<std::uint32_t>(encoded.size());
-  adopt_span(engine_.tracer(), *op);
-
-  const std::uint64_t dep = ffence_latest_;
-  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
-
-  fragment_op(FrameKind::kData, OpType::kScatterWrite, *op, dep, remote_base_va,
-              0, encoded, op->size);
-  op->submitted_at = engine_.sim().now();
-  write_ops_.push_back(op);
-  counters_.add(kCtrOpsSubmitted);
-  counters_.add(kCtrScatterOpsSubmitted);
-  counters_.add(kCtrBytesSubmitted, encoded.size());
-  if (auto* t = engine_.tracer()) {
-    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
-              op->parent_span);
-  }
-  try_transmit(cpu);
-  return op;
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kData;
+  s.op_type = OpType::kScatterWrite;
+  s.op_kind = OpKind::kWrite;
+  s.remote_va = remote_base_va;
+  s.data = encoded;
+  s.wire_size = s.op_bytes = static_cast<std::uint32_t>(encoded.size());
+  s.flags = flags;
+  s.allow_ring = true;
+  return submit_op(s, {kCtrOpsSubmitted, kCtrScatterOpsSubmitted},
+                   /*count_bytes=*/true, cpu);
 }
 
 SendOpPtr Connection::submit_read(std::uint64_t local_va, std::uint64_t remote_va,
                                   std::uint32_t size, std::uint16_t flags,
                                   sim::Cpu& cpu) {
   assert(size > 0);
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kRead;
-  op->flags = flags;
-  op->size = size;
-  adopt_span(engine_.tracer(), *op);
-
-  const std::uint64_t dep = ffence_latest_;
-  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
-
   // A read request is a single sequenced frame with no payload: remote_va is
   // the source at the target, aux_va the destination at the initiator.
-  fragment_op(FrameKind::kReadReq, OpType::kWrite, *op, dep, remote_va,
-              local_va, {}, size);
-  op->submitted_at = engine_.sim().now();
-  pending_reads_.insert_or_assign(op->op_id, op);
-  counters_.add(kCtrReadsSubmitted);
-  if (auto* t = engine_.tracer()) {
-    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
-              op->parent_span);
-  }
-  try_transmit(cpu);
-  return op;
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kReadReq;
+  s.op_type = OpType::kWrite;
+  s.op_kind = OpKind::kRead;
+  s.remote_va = remote_va;
+  s.aux_va = local_va;
+  s.wire_size = s.op_bytes = size;
+  s.flags = flags;
+  s.track_read = true;
+  s.allow_ring = true;
+  return submit_op(s, {kCtrReadsSubmitted}, /*count_bytes=*/false, cpu);
 }
 
 SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
@@ -241,59 +331,45 @@ SendOpPtr Connection::submit_gather_read(std::uint64_t local_base_va,
                                          std::uint32_t total_bytes,
                                          std::uint16_t flags, sim::Cpu& cpu) {
   assert(!encoded.empty() && total_bytes > 0);
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kRead;
-  op->flags = flags;
-  op->size = total_bytes;
-  adopt_span(engine_.tracer(), *op);
-
-  const std::uint64_t dep = ffence_latest_;
-  if (flags & kOpFlagForwardFence) ffence_latest_ = op->op_id;
-
   // A gather read is a read request whose payload is the segment descriptor:
   // remote_va is the source base at the target, aux_va the destination base
   // at the initiator, and op_size the descriptor length (the receiver sizes
   // its reassembly buffer from it).
-  fragment_op(FrameKind::kReadReq, OpType::kGatherRead, *op, dep,
-              remote_base_va, local_base_va, encoded,
-              static_cast<std::uint32_t>(encoded.size()));
-  op->submitted_at = engine_.sim().now();
-  pending_reads_.insert_or_assign(op->op_id, op);
-  counters_.add(kCtrGatherReadsSubmitted);
-  if (auto* t = engine_.tracer()) {
-    t->record(op->submitted_at, trace::EventType::kOpSubmit, engine_.node_id(),
-              -1, static_cast<int>(local_id_), op->op_id, op->size, op->ctx,
-              op->parent_span);
-  }
-  try_transmit(cpu);
-  return op;
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kReadReq;
+  s.op_type = OpType::kGatherRead;
+  s.op_kind = OpKind::kRead;
+  s.remote_va = remote_base_va;
+  s.aux_va = local_base_va;
+  s.data = encoded;
+  s.wire_size = static_cast<std::uint32_t>(encoded.size());
+  s.op_bytes = total_bytes;
+  s.flags = flags;
+  s.track_read = true;
+  s.allow_ring = true;
+  return submit_op(s, {kCtrGatherReadsSubmitted}, /*count_bytes=*/false, cpu);
 }
 
 void Connection::submit_read_response(std::uint64_t dst_va, std::uint64_t src_va,
                                       std::uint32_t size, std::uint64_t req_op_id,
                                       sim::Cpu& cpu,
                                       const trace::SpanContext& parent) {
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kWrite;
-  op->flags = 0;
-  op->size = size;
-  if (auto* t = engine_.tracer(); t != nullptr && parent.active()) {
-    op->parent_span = parent.span_id;
-    op->ctx = t->new_child(parent);
-  }
   // Read responses carry no fences of their own; the request's fences were
   // honoured when the response was generated.
-  fragment_op(FrameKind::kData, OpType::kReadResp, *op, kNoFenceDep, dst_va,
-              req_op_id, engine_.memory().view(src_va, size), size);
-  op->submitted_at = engine_.sim().now();
-  write_ops_.push_back(op);
-  counters_.add(kCtrReadResponses);
-  counters_.add(kCtrBytesSubmitted, size);
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kData;
+  s.op_type = OpType::kReadResp;
+  s.op_kind = OpKind::kWrite;
+  s.remote_va = dst_va;
+  s.aux_va = req_op_id;
+  s.data = engine_.memory().view(src_va, size);
+  s.wire_size = s.op_bytes = size;
+  s.use_fence_dep = false;
+  s.record_submit = false;
+  s.parent = &parent;
   // Serving the read costs a kernel-side copy of the data into frames.
   cpu.charge(engine_.costs().copy_cost_kernel(size));
-  try_transmit(cpu);
+  submit_op(s, {kCtrReadResponses}, /*count_bytes=*/true, cpu);
 }
 
 void Connection::submit_gather_response(std::uint64_t dst_base_va,
@@ -315,24 +391,20 @@ void Connection::submit_gather_response(std::uint64_t dst_base_va,
   const std::vector<std::byte> encoded = encode_scatter_payload(
       segs, std::span<const std::span<const std::byte>>(data));
 
-  auto op = std::make_shared<SendOp>();
-  op->op_id = next_op_id_++;
-  op->kind = OpKind::kWrite;
-  op->flags = 0;
-  op->size = static_cast<std::uint32_t>(encoded.size());
-  if (auto* t = engine_.tracer(); t != nullptr && parent.active()) {
-    op->parent_span = parent.span_id;
-    op->ctx = t->new_child(parent);
-  }
   // Like read responses, gather responses carry no fences of their own.
-  fragment_op(FrameKind::kData, OpType::kGatherResp, *op, kNoFenceDep,
-              dst_base_va, req_op_id, encoded, op->size);
-  op->submitted_at = engine_.sim().now();
-  write_ops_.push_back(op);
-  counters_.add(kCtrGatherResponses);
-  counters_.add(kCtrBytesSubmitted, encoded.size());
+  SubmitSpec s;
+  s.frame_kind = FrameKind::kData;
+  s.op_type = OpType::kGatherResp;
+  s.op_kind = OpKind::kWrite;
+  s.remote_va = dst_base_va;
+  s.aux_va = req_op_id;
+  s.data = encoded;
+  s.wire_size = s.op_bytes = static_cast<std::uint32_t>(encoded.size());
+  s.use_fence_dep = false;
+  s.record_submit = false;
+  s.parent = &parent;
   cpu.charge(engine_.costs().copy_cost_kernel(total));
-  try_transmit(cpu);
+  submit_op(s, {kCtrGatherResponses}, /*count_bytes=*/true, cpu);
 }
 
 std::size_t Connection::pick_link() {
@@ -424,8 +496,12 @@ void Connection::try_transmit(sim::Cpu& cpu) {
     sent_any = true;
   }
 
-  // New frames, subject to the sliding window.
-  while (retx_queue_.empty() && !pending_.empty()) {
+  // New frames, subject to the sliding window AND the submission barrier:
+  // frames of ops still sitting in the submission ring (seq >= barrier) are
+  // not visible to the protocol until their doorbell rings. Without
+  // batch_submission the barrier always equals next_seq_ and never gates.
+  while (retx_queue_.empty() && !pending_.empty() &&
+         pending_.front().seq < submit_barrier_) {
     OutFrame& of = pending_.front();
     if (of.seq >= snd_una_ + engine_.config().window_frames) {
       counters_.add(kCtrWindowStalls);
@@ -615,6 +691,10 @@ void Connection::handle_data_frame(net::FramePtr frame, const DecodedFrame& df,
   }
 
   if (auto* ck = engine_.checker()) ck->on_rcv_frontier(*this, rcv_nxt_);
+  // Selective signaling: a signaled frame asks for prompt cumulative ack
+  // (which also covers every unsignaled predecessor). Only ever set when the
+  // sender runs with signal_interval > 1.
+  if (h.op_flags & kOpFlagSignaled) signaled_since_ack_ = true;
   after_new_data_frame(cpu);
 }
 
@@ -638,7 +718,22 @@ void Connection::after_new_data_frame(sim::Cpu& cpu) {
   }
 
   ++rx_since_ack_;
-  if (nacks_due || rx_since_ack_ >= cfg.ack_threshold) {
+  bool ack_now = nacks_due;
+  if (cfg.signal_interval > 1) {
+    // Selective signaling: hold the frame-count ack until a signaled frame
+    // arrived (cumulative acks then cover its unsignaled prefix), but never
+    // let silence approach a window stall at the sender — the hard cap acks
+    // a long unsignaled run regardless.
+    const std::uint32_t cap = std::max<std::uint32_t>(
+        cfg.ack_threshold,
+        static_cast<std::uint32_t>(cfg.window_frames) * 3 / 4);
+    ack_now = ack_now ||
+              (signaled_since_ack_ && rx_since_ack_ >= cfg.ack_threshold) ||
+              rx_since_ack_ >= cap;
+  } else {
+    ack_now = ack_now || rx_since_ack_ >= cfg.ack_threshold;
+  }
+  if (ack_now) {
     send_explicit_ack(cpu);
   } else {
     ack_timer_.schedule_if_idle(cfg.ack_timeout);
@@ -732,6 +827,7 @@ void Connection::send_explicit_ack(sim::Cpu& cpu, bool force_nacks) {
               -1, static_cast<int>(local_id_), rcv_nxt_, nacks.size());
   }
   rx_since_ack_ = 0;
+  signaled_since_ack_ = false;
   ack_on_idle_ = false;
   ack_timer_.cancel();
 }
@@ -938,7 +1034,7 @@ void Connection::maybe_complete(RecvOp& op, sim::Cpu& cpu) {
     engine_.deliver_notification(
         Notification{peer_node_, op_id, op.write_va, op.size,
                      op_flags_tag(op.flags), op.ctx},
-        cpu);
+        cpu, /*urgent=*/(op.flags & kOpFlagUrgent) != 0);
   }
 
   // Advance the completion frontier.

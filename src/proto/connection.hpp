@@ -102,8 +102,38 @@ class Connection {
   /// Transmit queued frames while the window and NIC rings allow.
   void try_transmit(sim::Cpu& cpu);
 
-  /// True if frames are waiting for window or ring space.
-  bool has_backlog() const { return !pending_.empty() || !retx_queue_.empty(); }
+  /// Ring the submission-ring doorbell (DESIGN.md §15): release every frame
+  /// appended since the last doorbell for transmission, charge the
+  /// per-descriptor drain cost, and transmit what window/NIC rings allow.
+  /// No-op when the ring is empty. The syscall part of the doorbell is
+  /// charged by the user-level library (Endpoint/Connection::flush), not
+  /// here, so protocol-context flushes (engine idle sweep) stay free of a
+  /// kernel entry they would not pay in reality.
+  void flush(sim::Cpu& cpu) { ring_doorbell(cpu, /*charge_syscall=*/false); }
+
+  /// Descriptors appended and not yet doorbelled (submission-ring occupancy;
+  /// sampled by the submit_ring time series). Always 0 without batching.
+  std::uint32_t submit_ring_depth() const { return ring_depth_; }
+
+  /// One past the highest sequence released for transmission by a doorbell.
+  /// Checker rule D: no data frame is ever transmitted at or above this
+  /// barrier. Without batching every submit advances it to snd_nxt, so the
+  /// barrier never blocks.
+  std::uint64_t submit_barrier() const { return submit_barrier_; }
+
+  /// True when a submit carrying `flags` will be held in the submission ring
+  /// (its kernel entry deferred to the next doorbell) instead of doorbelled
+  /// eagerly. The user-level library charges syscall_cost only for eager
+  /// submits.
+  bool will_batch(std::uint16_t flags) const;
+
+  /// True if frames are waiting for window or ring space. Frames above the
+  /// submission barrier are not backlog: they are waiting for a doorbell,
+  /// not for resources.
+  bool has_backlog() const {
+    return !retx_queue_.empty() ||
+           (!pending_.empty() && pending_.front().seq < submit_barrier_);
+  }
 
   // --- receive path (called from the protocol thread via the engine) ---
 
@@ -207,6 +237,32 @@ class Connection {
     std::uint64_t seq = 0;
   };
 
+  // Shared descriptor-build path for every submit_* entry point: op
+  // construction, span adoption, selective signaling, forward-fence
+  // dependency tracking, fragmentation, completion tracking, and the
+  // ring-append / eager-doorbell decision all live in submit_op(); the
+  // public wrappers only fill in the spec and their per-path counters.
+  struct SubmitSpec {
+    FrameKind frame_kind = FrameKind::kData;
+    OpType op_type = OpType::kWrite;
+    OpKind op_kind = OpKind::kWrite;
+    std::uint64_t remote_va = 0;
+    std::uint64_t aux_va = 0;
+    std::span<const std::byte> data;
+    std::uint32_t wire_size = 0;  // WireHeader::op_size
+    std::uint32_t op_bytes = 0;   // SendOp::size (completion accounting)
+    std::uint16_t flags = 0;
+    bool use_fence_dep = true;    // responses carry no fences of their own
+    bool track_read = false;      // pending_reads_ instead of write_ops_
+    bool record_submit = true;    // responses record no kOpSubmit event
+    bool allow_ring = false;      // responses (protocol context) never batch
+    const trace::SpanContext* parent = nullptr;  // responses: explicit parent
+  };
+  SendOpPtr submit_op(const SubmitSpec& spec,
+                      std::initializer_list<stats::CounterId> ctrs,
+                      bool count_bytes, sim::Cpu& cpu);
+  std::uint16_t apply_signaling(std::uint16_t flags);
+  void ring_doorbell(sim::Cpu& cpu, bool charge_syscall);
   void fragment_op(FrameKind kind, OpType op_type, SendOp& op,
                    std::uint64_t ffence_dep, std::uint64_t remote_va,
                    std::uint64_t aux_va, std::span<const std::byte> data,
@@ -267,6 +323,14 @@ class Connection {
   std::size_t rr_next_link_ = 0;
   bool window_stalled_ = false;  // for stall/resume edge-trigger tracing
   bool in_backlog_ = false;      // registered in the engine's backlog list
+  bool in_dirty_ring_ = false;   // registered in the engine's dirty-ring list
+  // Submission ring (DESIGN.md §15): frames with seq >= submit_barrier_ are
+  // built but not yet released by a doorbell; ring_depth_ counts the ops
+  // appended since the last doorbell. Without batching the barrier tracks
+  // next_seq_ exactly and the depth stays 0.
+  std::uint64_t submit_barrier_ = 0;
+  std::uint32_t ring_depth_ = 0;
+  std::uint32_t unsignaled_run_ = 0;  // selective-signaling op counter
   sim::Timer retransmit_timer_;
 
   // ---- receive side ----
@@ -277,6 +341,7 @@ class Connection {
   SeqMap<Gap> gaps_;                 // keys within [rcv_nxt_, rx_frontier_)
   std::uint32_t rx_since_ack_ = 0;  // data frames since we last acked
   bool ack_on_idle_ = false;        // an op completed since the last ack
+  bool signaled_since_ack_ = false;  // a kOpFlagSignaled frame arrived
   std::vector<std::uint64_t> nack_scratch_;  // reused by collect_due_nacks
   sim::Timer ack_timer_;
   sim::Timer nack_timer_;

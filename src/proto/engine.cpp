@@ -31,6 +31,10 @@ const stats::CounterId kCtrConnAcks =
     stats::CounterRegistry::intern("conn_acks");
 const stats::CounterId kCtrNotificationsDelivered =
     stats::CounterRegistry::intern("notifications_delivered");
+// Batched completion harvest (DESIGN.md §15). Only incremented when
+// batch_submission is on, so default-config fingerprints never see it.
+const stats::CounterId kCtrNotifyBatches =
+    stats::CounterRegistry::intern("notify_batches");
 }  // namespace
 
 Engine::Engine(sim::Simulator& sim, int node_id, MemorySpace& memory,
@@ -116,9 +120,13 @@ void Engine::thread_loop() {
 
   if (batch.empty() && completions == 0) {
     batch_spare_ = std::move(batch);
-    // Nothing to process: drain any backlog the rings now have room for,
-    // send solicited acks for operations that completed during the burst,
-    // re-enable interrupts, and put the thread to sleep (§2.6).
+    // Nothing to process: sweep any submission rings whose doorbell was
+    // never rung (batching safety net), drain any backlog the rings now
+    // have room for, send solicited acks for operations that completed
+    // during the burst, re-enable interrupts, and put the thread to sleep
+    // (§2.6).
+    flush_submission_rings(proto_cpu_);
+    flush_notifications(proto_cpu_);
     flush_backlog();
     for (const auto& c : conns_) c->solicit_ack_at_idle();
     for (auto* d : rails_) d->enable_interrupts(true);
@@ -146,6 +154,7 @@ void Engine::thread_loop() {
     for (auto& item : b) dispatch(item);
     b.clear();
     batch_spare_ = std::move(b);
+    flush_notifications(proto_cpu_);
     flush_backlog();
     thread_loop();
   });
@@ -341,11 +350,48 @@ void Engine::on_conn_ack(const DecodedFrame& df) {
 // Notifications & stats
 // ---------------------------------------------------------------------------
 
-void Engine::deliver_notification(Notification n, sim::Cpu& cpu) {
+void Engine::deliver_notification(Notification n, sim::Cpu& cpu, bool urgent) {
+  if (cfg_.batch_submission && !urgent) {
+    // Batched harvest: queued now, delivered (one wakeup for the whole
+    // batch) at the end of the protocol thread's dispatch pass.
+    pending_notify_.push_back(n);
+    return;
+  }
   cpu.charge(costs_.notify_cost);
   counters_.add(kCtrNotificationsDelivered);
   notifications_.push_back(n);
   notify_events_.notify_all();
+}
+
+void Engine::flush_notifications(sim::Cpu& cpu) {
+  if (pending_notify_.empty()) return;
+  // First delivery of the batch pays the full queue-insert + waiter wakeup;
+  // the rest ride the same wakeup for notify_item_cost each.
+  cpu.charge(costs_.notify_cost +
+             static_cast<sim::Time>(pending_notify_.size() - 1) *
+                 costs_.notify_item_cost);
+  counters_.add(kCtrNotifyBatches);
+  counters_.add(kCtrNotificationsDelivered, pending_notify_.size());
+  for (const Notification& n : pending_notify_) notifications_.push_back(n);
+  pending_notify_.clear();
+  notify_events_.notify_all();
+}
+
+bool Engine::has_dirty_rings() const {
+  for (const Connection* c : dirty_rings_) {
+    if (c->submit_ring_depth() > 0) return true;
+  }
+  return false;
+}
+
+void Engine::flush_submission_rings(sim::Cpu& cpu) {
+  if (dirty_rings_.empty()) return;
+  dirty_rings_scratch_.swap(dirty_rings_);
+  for (Connection* c : dirty_rings_scratch_) {
+    c->in_dirty_ring_ = false;
+    c->ring_doorbell(cpu, /*charge_syscall=*/false);
+  }
+  dirty_rings_scratch_.clear();
 }
 
 bool Engine::has_notification(int tag) const {

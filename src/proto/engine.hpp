@@ -101,7 +101,12 @@ class Engine {
   trace::RailHealth* rail_health(std::size_t rail) const {
     return rail < rail_health_.size() ? rail_health_[rail] : nullptr;
   }
-  void deliver_notification(Notification n, sim::Cpu& cpu);
+  /// Queue a completion notification for user level. `urgent` notifications
+  /// (and every notification when batch_submission is off) pay notify_cost
+  /// and wake waiters immediately; non-urgent ones under batch_submission are
+  /// harvested in batches at the end of the protocol thread's dispatch pass —
+  /// one notify_cost wakeup plus notify_item_cost per additional entry.
+  void deliver_notification(Notification n, sim::Cpu& cpu, bool urgent = true);
   /// Register a connection that still has frames waiting for window/ring.
   /// Deduplicated by a flag on the connection; the list keeps registration
   /// order, so draining is deterministic and allocation-free.
@@ -111,6 +116,22 @@ class Engine {
       backlog_.push_back(conn);
     }
   }
+  /// Register a connection whose submission ring holds un-doorbelled
+  /// descriptors (batch_submission only). Same dedupe discipline as
+  /// note_backlog. The protocol thread's idle sweep rings these doorbells if
+  /// nothing else (explicit flush, ring threshold, eager op) does first.
+  void note_dirty_ring(Connection* conn) {
+    if (!conn->in_dirty_ring_) {
+      conn->in_dirty_ring_ = true;
+      dirty_rings_.push_back(conn);
+    }
+  }
+  /// True if any registered submission ring still holds descriptors.
+  bool has_dirty_rings() const;
+  /// Ring every dirty submission ring's doorbell (kernel entry is NOT
+  /// charged here — the caller either already paid it or is the in-kernel
+  /// protocol thread; per-descriptor drain costs are charged on `cpu`).
+  void flush_submission_rings(sim::Cpu& cpu);
 
   // --- statistics ---
   stats::Counters& counters() { return counters_; }
@@ -138,6 +159,7 @@ class Engine {
   };
   void dispatch(RxItem& item);
   void flush_backlog();
+  void flush_notifications(sim::Cpu& cpu);
   void note_rx_from(int peer);
 
   Connection* find_conn(std::uint32_t local_id);
@@ -169,11 +191,16 @@ class Engine {
   sim::WaitQueue conn_events_;
 
   std::deque<Notification> notifications_;
+  // Notifications awaiting a batched harvest (batch_submission only; always
+  // empty otherwise).
+  std::vector<Notification> pending_notify_;
   sim::WaitQueue notify_events_;
   std::vector<sim::Time> last_rx_;  // per peer node, grown on demand
 
   std::vector<Connection*> backlog_;
   std::vector<Connection*> backlog_scratch_;  // reused by flush_backlog()
+  std::vector<Connection*> dirty_rings_;
+  std::vector<Connection*> dirty_rings_scratch_;
   std::vector<RxItem> batch_spare_;           // reused by thread_loop()
   bool thread_active_ = false;
   std::unique_ptr<InvariantChecker> checker_;

@@ -43,6 +43,12 @@ void InvariantChecker::on_frame_sent(const Connection& c, std::uint64_t seq,
        << window_frames << " window_frames (seq " << seq << ")";
     violation(c, os.str());
   }
+  if (seq >= c.submit_barrier()) {
+    std::ostringstream os;
+    os << "frame transmitted past the submission barrier (doorbell not rung): "
+       << "seq " << seq << " >= barrier " << c.submit_barrier();
+    violation(c, os.str());
+  }
 }
 
 void InvariantChecker::on_ack_received(const Connection& c, std::uint64_t ack) {

@@ -15,7 +15,11 @@
 //      prior operation completed, a fragment with a forward-fence dependency
 //      only after that dependency completed;
 //   A  cumulative ACKs never acknowledge sequence numbers that were never
-//      transmitted.
+//      transmitted;
+//   D  no frame is transmitted past the submission barrier — an op parked in
+//      a doorbell-batched submission ring (DESIGN.md §15) is invisible to
+//      the transmit path until its doorbell rings. Without batch_submission
+//      the barrier tracks next_seq_ exactly and the check is vacuous.
 //
 // The checker is owned by the Engine and only instantiated when
 // ProtocolConfig::check_invariants is set (tests); every hook site guards on

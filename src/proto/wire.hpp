@@ -99,6 +99,21 @@ enum OpFlags : std::uint16_t {
   /// synchronization messages (collective signals); bulk traffic should not
   /// set it, or moderation stops moderating.
   kOpFlagUrgent = 1u << 4,
+  /// Selective signaling (DESIGN.md §15): this operation solicits prompt
+  /// completion acknowledgment. Set by the sender's connection when
+  /// ProtocolConfig::signal_interval > 1 — on every Nth op and on every
+  /// fenced/urgent/notify/solicit op; with signal_interval == 1 (default)
+  /// no op carries the bit and the wire image is byte-identical to the
+  /// pre-batching protocol. Unsignaled ops complete via cumulative ACKs
+  /// triggered by a later signaled op or the receiver's frame-count/timer
+  /// thresholds.
+  kOpFlagSignaled = 1u << 5,
+  /// Submit-side hint, NEVER on the wire (stripped before fragmentation):
+  /// with batch_submission, keep this op in the submission ring even if it
+  /// carries urgent/fence flags (the caller batches a burst and flushes
+  /// explicitly, preserving wire-level urgency without per-op doorbells).
+  /// Inert when batch_submission is off.
+  kOpFlagBatched = 1u << 6,
 };
 
 /// Bits 8..15 of op_flags carry an 8-bit notification tag, so independent

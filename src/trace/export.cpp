@@ -62,6 +62,7 @@ int event_tid(const Event& e) {
     case EventType::kFenceRelease:
     case EventType::kOpSubmit:
     case EventType::kOpComplete:
+    case EventType::kDoorbell:
     case EventType::kOpRecv:
       return kTidConnBase + (e.conn >= 0 ? e.conn : 0);
   }

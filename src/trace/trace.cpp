@@ -21,6 +21,7 @@ std::string_view event_name(EventType t) {
     case EventType::kFenceRelease: return "fence_release";
     case EventType::kOpSubmit: return "op_submit";
     case EventType::kOpComplete: return "op_complete";
+    case EventType::kDoorbell: return "doorbell";
     case EventType::kDsmPageFetch: return "dsm_page_fetch";
     case EventType::kDsmDiffFlush: return "dsm_diff_flush";
     case EventType::kCollOp: return "coll_op";
@@ -56,6 +57,7 @@ std::string_view event_category(EventType t) {
     case EventType::kFenceRelease:
     case EventType::kOpSubmit:
     case EventType::kOpComplete:
+    case EventType::kDoorbell:
     case EventType::kOpRecv:
       return "conn";
     case EventType::kDsmPageFetch:

@@ -47,6 +47,8 @@ enum class EventType : std::uint8_t {
   kFenceRelease, // fence released blocked ops; a=ops released
   kOpSubmit,     // user op submitted; a=op id, b=bytes
   kOpComplete,   // user op completed (duration event); a=op id, b=bytes
+  kDoorbell,     // submission-ring doorbell rung; a=descriptors drained,
+                 // b=frames released past the barrier (DESIGN.md §15)
   // DSM.
   kDsmPageFetch, // remote page fetch (duration event); a=page, b=bytes
   kDsmDiffFlush, // dirty-diff writeback (duration event); a=pages, b=bytes

@@ -235,10 +235,11 @@ TEST(ClusterTrace, TimeSeriesSamplersCoverNodesAndRails) {
   });
   cluster.spawn(1, "r", [&](Endpoint& ep) { ep.wait_notification(); });
   cluster.run();
-  // Per node: window occupancy, outstanding ops, and one tx/rx pair per rail.
+  // Per node: window occupancy, outstanding ops, submission-ring occupancy,
+  // and one tx/rx pair per rail.
   const auto& series = cluster.time_series();
   ASSERT_EQ(series.size(),
-            2u * (2u + 2u * static_cast<unsigned>(cfg.topology.rails)));
+            2u * (3u + 2u * static_cast<unsigned>(cfg.topology.rails)));
   bool any_samples = false;
   for (const auto& s : series) {
     if (!s->samples().empty()) any_samples = true;
@@ -334,10 +335,13 @@ GoldenRun golden_run(bool lossy) {
   return g;
 }
 
-// Fingerprints captured from the tree BEFORE the hot-path overhaul (frame
-// pool, ring-indexed window state, event-queue rewrite). The refactor must
-// keep same-seed runs bit-identical: counters AND the Chrome-trace export
-// bytes. Any drift here means protocol behavior changed, not just speed.
+// The counters fingerprints were captured from the tree BEFORE the hot-path
+// overhaul (frame pool, ring-indexed window state, event-queue rewrite) and
+// have been preserved bit-identical by every change since — any drift there
+// means protocol behavior changed, not just speed. The trace constants cover
+// the Chrome-trace export bytes and were re-captured when the submit_ring
+// sampler track was added (a pure-export addition; the counters hashes were
+// untouched by it).
 //
 // The trace hash covers floating-point formatting, so the constants are
 // toolchain-sensitive; set MULTIEDGE_SKIP_GOLDEN=1 to skip on other stacks.
@@ -347,8 +351,8 @@ TEST(GoldenDeterminism, CleanRunMatchesPreRefactorFingerprint) {
   }
   const GoldenRun g = golden_run(/*lossy=*/false);
   EXPECT_EQ(g.counters_fnv, 3365255438641469871ull) << "counters drifted";
-  EXPECT_EQ(g.trace_fnv, 1421943804856322431ull) << "trace bytes drifted";
-  EXPECT_EQ(g.trace_bytes, 164657u);
+  EXPECT_EQ(g.trace_fnv, 1681455092980360927ull) << "trace bytes drifted";
+  EXPECT_EQ(g.trace_bytes, 183161u);
   EXPECT_EQ(g.data_frames_rcvd, 73u);
   EXPECT_EQ(g.retransmissions, 0u);
 }
@@ -359,8 +363,8 @@ TEST(GoldenDeterminism, LossyRunMatchesPreRefactorFingerprint) {
   }
   const GoldenRun g = golden_run(/*lossy=*/true);
   EXPECT_EQ(g.counters_fnv, 17724119311279834208ull) << "counters drifted";
-  EXPECT_EQ(g.trace_fnv, 14028392604035819573ull) << "trace bytes drifted";
-  EXPECT_EQ(g.trace_bytes, 1817735u);
+  EXPECT_EQ(g.trace_fnv, 6769585735799952412ull) << "trace bytes drifted";
+  EXPECT_EQ(g.trace_bytes, 2106903u);
   EXPECT_EQ(g.data_frames_rcvd, 74u);
   EXPECT_EQ(g.retransmissions, 1u);
 }
