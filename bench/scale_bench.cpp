@@ -156,9 +156,7 @@ ConvResult run_convergence(int nodes, bool mesh) {
     out.probes_per_node_ms =
         static_cast<double>(probes) / nodes / out.sim_ms;
   }
-  for (int i = 0; i < nodes; ++i) {
-    all.merge(cluster.engine(i).aggregate_counters());
-  }
+  bench::merge_engine_counters(cluster, nodes, all);
   out.counters_fnv = bench::counters_fingerprint(all);
   return out;
 }
@@ -174,11 +172,7 @@ struct KvResult {
   std::uint64_t counters_fnv = 0;
 };
 
-std::string scale_key(int k) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "k%06d", k);
-  return buf;
-}
+std::string scale_key(int k) { return bench::bench_key(k); }
 
 KvResult run_kv(int nodes, int ops_per_client) {
   Cluster cluster(fabric_config(nodes));
@@ -228,9 +222,7 @@ KvResult run_kv(int nodes, int ops_per_client) {
     r.kops = static_cast<double>(r.gets + r.puts) / r.sim_ms;
   }
   stats::Counters all = sys.aggregate_counters();
-  for (int i = 0; i < nodes; ++i) {
-    all.merge(cluster.engine(i).aggregate_counters());
-  }
+  bench::merge_engine_counters(cluster, nodes, all);
   r.counters_fnv = bench::counters_fingerprint(all);
   return r;
 }
@@ -283,9 +275,7 @@ CollResult run_coll(int nodes, bool allreduce, int iters) {
   CollResult r;
   r.per_op_us = sim::to_us(t1 - t0) / iters;
   stats::Counters all;
-  for (int i = 0; i < nodes; ++i) {
-    all.merge(cluster.engine(i).aggregate_counters());
-  }
+  bench::merge_engine_counters(cluster, nodes, all);
   r.counters_fnv = bench::counters_fingerprint(all);
   return r;
 }

@@ -67,6 +67,8 @@ if [ "$LABEL" = "tier1" ]; then
   ctest --test-dir "$BUILD_DIR" -L kv --output-on-failure -j "$(nproc)"
   echo "== ctest -L member"
   ctest --test-dir "$BUILD_DIR" -L member --output-on-failure -j "$(nproc)"
+  echo "== ctest -L svc"
+  ctest --test-dir "$BUILD_DIR" -L svc --output-on-failure -j "$(nproc)"
 fi
 
 # A green test tier is necessary but not sufficient for the hot path: a
@@ -83,7 +85,7 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   echo "== bench smoke ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench \
-    --target kv_bench --target scale_bench
+    --target kv_bench --target svc_bench --target scale_bench
   # Protocol smoke: throughput floor + exact counter fingerprints, plus the
   # small-op submission-batching gate (smallop-batched must finish >= 1.3x
   # faster in simulated time than smallop-unbatched; see bench/simspeed.cpp).
@@ -98,6 +100,15 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   # pair: doorbell batching + selective signaling + server burst drain must
   # lift small-value throughput >= 1.3x over the unbatched run.
   "$BENCH_DIR"/bench/kv_bench --check=BENCH_kv.json
+  # Serving tier: open-loop overload curves. The broker must match the
+  # per-client baseline's peak goodput with >= 8x fewer connections, hold
+  # >= 0.8x its peak goodput at ~2x the saturating load with explicit
+  # admission rejections (not unbounded queueing) absorbing the overload,
+  # and keep its accepted-op p99 below the collapsing baseline's, with
+  # exact counter fingerprints against BENCH_svc.json. The artifact carries
+  # the full latency-vs-offered-load and incast curves (see ci.yml upload).
+  "$BENCH_DIR"/bench/svc_bench --json="$BENCH_DIR"/BENCH_svc.json \
+    --check=BENCH_svc.json
   # Scale-out: SWIM vs mesh convergence, probe-rate asymptotics at 128
   # nodes, and KV/collective scaling on hierarchical fabrics, against the
   # committed BENCH_scale.json (full sweep: the 128-node rows ARE the gate).

@@ -47,6 +47,7 @@ using proto::kOpFlagBatched;
 using proto::kOpFlagForwardFence;
 using proto::kOpFlagNone;
 using proto::kOpFlagNotify;
+using proto::kOpFlagQuietNotify;
 using proto::kOpFlagSignaled;
 using proto::kOpFlagSolicit;
 using proto::kOpFlagUrgent;

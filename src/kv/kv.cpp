@@ -67,6 +67,10 @@ const stats::CounterId kCtrGetBufStalls =
     stats::CounterRegistry::intern("kv_get_buf_stalls");
 const stats::CounterId kCtrPeersMarkedDown =
     stats::CounterRegistry::intern("kv_peers_marked_down");
+const stats::CounterId kCtrRejected =
+    stats::CounterRegistry::intern("kv_rejected");
+const stats::CounterId kCtrClientConns =
+    stats::CounterRegistry::intern("kv_client_conns");
 
 constexpr std::uint64_t align64(std::uint64_t v) { return (v + 63) & ~63ull; }
 
@@ -145,6 +149,18 @@ bool wait_op(Endpoint& ep, const OpHandle& h, sim::Time timeout,
   return true;
 }
 
+/// ClientOpRef variant: terminal also covers broker rejection (the caller
+/// checks rejected() after a successful wait).
+bool wait_ref(Endpoint& ep, const ClientOpRef& r, sim::Time timeout,
+              sim::Time poll) {
+  const sim::Time deadline = ep.cluster().sim().now() + timeout;
+  while (!r.test()) {
+    if (ep.cluster().sim().now() >= deadline) return false;
+    idle_wait(poll);
+  }
+  return true;
+}
+
 /// Root span for one client operation (kKvOp). Alive across the whole retry
 /// loop so every attempt's request write adopts it; the destructor records
 /// the span covering the full client-observed latency.
@@ -193,6 +209,7 @@ const char* status_str(Status s) {
     case Status::kNoSpace: return "no_space";
     case Status::kWrongPrimary: return "wrong_primary";
     case Status::kUnavailable: return "unavailable";
+    case Status::kRejected: return "rejected";
   }
   return "?";
 }
@@ -531,8 +548,11 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   // With server bursting, the fan-out writes ride the submission rings and
   // one doorbell pushes the whole replication round out; the flush below is
   // mandatory before blocking on acks (a parked write would never start).
+  // QuietNotify: the primary blocks on the backup's ACK WORD (a separate
+  // one-sided write back), never on this op's acknowledgment, so under
+  // selective signaling the fan-out may ride unsignaled.
   std::uint16_t flags = kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
-                        op_tag_flags(cfg.repl_tag);
+                        kOpFlagQuietNotify | op_tag_flags(cfg.repl_tag);
   if (cfg.server_burst > 1) flags |= kOpFlagBatched;
   for (int t : targets) {
     Connection& cn = sys_.conn_to(ep, t);
@@ -616,8 +636,11 @@ void Server::handle_repl(Endpoint& ep, const Notification& n) {
   // BackwardFence: ack writes from this node must apply in issue order at
   // the primary, or a retransmitted older ack could land after (and mask) a
   // newer generation, wedging the primary's ack wait.
-  sys_.conn_to(ep, src).rdma_write(dom.ack_slot_va(node_), src_slot, 8,
-                                   kOpFlagUrgent | kOpFlagBackwardFence);
+  // QuietNotify: the primary polls the ack word delivered by the data frame,
+  // not this op's acknowledgment — no initiator-side waiter to signal for.
+  sys_.conn_to(ep, src).rdma_write(
+      dom.ack_slot_va(node_), src_slot, 8,
+      kOpFlagUrgent | kOpFlagBackwardFence | kOpFlagQuietNotify);
   if (rctx.active()) {
     tr->record_span(r0, sys_.cluster().sim().now() - r0,
                     trace::EventType::kKvRepl, node_, -1, -1, h->op, h->seq,
@@ -638,8 +661,12 @@ void Server::respond(Endpoint& ep, int client_node, int cslot,
   rh->val_len = static_cast<std::uint32_t>(value.size());
   std::memcpy(mem.as<std::byte>(build + sizeof(RespHeader)), value.data(),
               value.size());
+  // QuietNotify: a response is fire-and-forget — the server never waits on
+  // this op, and the client unblocks on the data-frame notification, not the
+  // ack — so under selective signaling it may ride unsignaled like bulk.
   std::uint16_t flags =
       kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
+      kOpFlagQuietNotify |
       op_tag_flags(static_cast<std::uint8_t>(cfg.resp_tag_base + cslot));
   // Under a serve-loop burst the responses of the whole burst share one
   // doorbell (serve() flushes after the drain); the response data is copied
@@ -685,8 +712,61 @@ std::uint32_t Server::alloc_slot(int partition) {
 // Client
 // ---------------------------------------------------------------------------
 
-Client::Client(System& sys, Endpoint& ep, int cslot)
-    : sys_(sys), ep_(ep), node_(ep.node_id()), cslot_(cslot) {}
+Client::Client(System& sys, Endpoint& ep, int cslot, svc::Tenant* tenant)
+    : sys_(sys), ep_(ep), node_(ep.node_id()), cslot_(cslot), tenant_(tenant) {
+  if (sys_.config().conn_mode == ConnMode::kPerClient) {
+    own_conns_.resize(sys_.cluster().num_nodes());
+  }
+}
+
+Connection& Client::direct_conn(int peer) {
+  if (sys_.config().conn_mode == ConnMode::kPerClient) {
+    // The connection-per-client baseline: every fiber its own QPs, no
+    // sharing, no dedupe needed (the vector is fiber-private).
+    if (!own_conns_[peer].valid()) {
+      own_conns_[peer] = ep_.connect(peer);
+      counters_.add(kCtrClientConns);
+    }
+    return own_conns_[peer];
+  }
+  return sys_.conn_to(ep_, peer);
+}
+
+ClientOpRef Client::issue_write(int peer, std::uint64_t remote_va,
+                                std::uint64_t local_va, std::uint32_t bytes,
+                                std::uint16_t flags) {
+  ClientOpRef r;
+  if (tenant_ != nullptr) {
+    r.s = tenant_->write(peer, remote_va, local_va, bytes, flags);
+  } else {
+    r.h = direct_conn(peer).rdma_write(remote_va, local_va, bytes, flags);
+  }
+  return r;
+}
+
+ClientOpRef Client::issue_read(int peer, std::uint64_t local_va,
+                               std::uint64_t remote_va, std::uint32_t bytes,
+                               std::uint16_t flags) {
+  ClientOpRef r;
+  if (tenant_ != nullptr) {
+    r.s = tenant_->read(peer, local_va, remote_va, bytes, flags);
+  } else {
+    r.h = direct_conn(peer).rdma_read(local_va, remote_va, bytes, flags);
+  }
+  return r;
+}
+
+ClientOpRef Client::issue_gather_read(int peer, std::vector<GatherSegment> segs,
+                                      std::uint64_t remote_base,
+                                      std::uint16_t flags) {
+  ClientOpRef r;
+  if (tenant_ != nullptr) {
+    r.s = tenant_->gather_read(peer, std::move(segs), remote_base, flags);
+  } else {
+    r.h = direct_conn(peer).rdma_gather_read(segs, remote_base, flags);
+  }
+  return r;
+}
 
 Status Client::get(std::string_view key, std::string* out) {
   check_sizes(sys_.config(), key, {});
@@ -774,12 +854,21 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
     const std::uint16_t req_flags = static_cast<std::uint16_t>(
         kOpFlagNotify | kOpFlagBackwardFence | op_tag_flags(cfg.req_tag) |
         (batch ? kOpFlagBatched : kOpFlagUrgent));
-    sys_.conn_to(ep_, primary)
-        .rdma_write(dom.req_slot_va(node_, cslot_), build,
-                    static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() +
-                                               value.size()),
-                    req_flags);
-    if (batch) ep_.flush();  // the poll loop below never auto-flushes
+    const ClientOpRef req = issue_write(
+        primary, dom.req_slot_va(node_, cslot_), build,
+        static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() +
+                                   value.size()),
+        req_flags);
+    if (req.rejected()) {
+      // Broker admission control shed the request before it touched the
+      // wire: fail fast so the caller backs off instead of piling retries
+      // onto an already-saturated serving tier.
+      counters_.add(kCtrRejected);
+      return Status::kRejected;
+    }
+    // The poll loop below never auto-flushes; brokered ops are flushed by
+    // the broker's dispatcher instead.
+    if (batch && tenant_ == nullptr) ep_.flush();
     counters_.add(kCtrRpcSent);
 
     // Await the matching response; a resend can race a late original, so
@@ -857,14 +946,22 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
 
     const int set = acquire_get_buf();
     const std::uint64_t buf = dom.get_buf_va(cslot_, set);
-    Connection& c = sys_.conn_to(ep_, primary);
 
     // Round trip 1: the bucket's chain descriptor (count + slot VAs).
-    const OpHandle h = c.rdma_read(buf, entry_va, entry_bytes, rflags);
+    const ClientOpRef h = issue_read(primary, buf, entry_va, entry_bytes,
+                                     rflags);
+    if (h.rejected()) {
+      counters_.add(kCtrRejected);
+      return Status::kRejected;
+    }
     get_pending_[set] = h;
-    if (!wait_op(ep_, h, cfg.get_timeout, cfg.client_poll)) {
+    if (!wait_ref(ep_, h, cfg.get_timeout, cfg.client_poll)) {
       counters_.add(kCtrGetTimeouts);
       continue;  // re-resolve: the primary may be on its way down
+    }
+    if (h.rejected()) {  // broker stopped mid-wait and shed the queue
+      counters_.add(kCtrRejected);
+      return Status::kRejected;
     }
     const std::uint64_t* e = mem.as<std::uint64_t>(buf);
     const std::uint64_t count = e[0];
@@ -891,11 +988,20 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
       continue;
     }
     // Round trip 2: every candidate record in ONE gather read.
-    const OpHandle g = c.rdma_gather_read(segs, slab_base, rflags);
+    const ClientOpRef g =
+        issue_gather_read(primary, std::move(segs), slab_base, rflags);
+    if (g.rejected()) {
+      counters_.add(kCtrRejected);
+      return Status::kRejected;
+    }
     get_pending_[set] = g;
-    if (!wait_op(ep_, g, cfg.get_timeout, cfg.client_poll)) {
+    if (!wait_ref(ep_, g, cfg.get_timeout, cfg.client_poll)) {
       counters_.add(kCtrGetTimeouts);
       continue;
+    }
+    if (g.rejected()) {
+      counters_.add(kCtrRejected);
+      return Status::kRejected;
     }
     const Status st = validate_snapshot(mem.as<std::byte>(buf),
                                         mem.as<std::byte>(buf + entry_pad),
@@ -978,6 +1084,9 @@ System::System(Cluster& cluster, KvConfig cfg, member::Service* membership)
           nodes_[observer]->server->counters().add(kCtrPeersMarkedDown);
         }
       });
+  if (cfg_.conn_mode == ConnMode::kBroker) {
+    broker_ = std::make_unique<svc::Broker>(cluster_, cfg_.broker);
+  }
   const int n = cluster.num_nodes();
   nodes_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -1022,10 +1131,15 @@ void System::spawn_client(int node, std::string name,
   }
   ++clients_active_;
   any_client_spawned_ = true;
+  // In broker mode every client fiber is a tenant of the node-local broker;
+  // attaching is pure bookkeeping, so it happens here (host side).
+  svc::Tenant* tenant =
+      broker_ ? &broker_->attach(node, name) : nullptr;
   cluster_.spawn(node, std::move(name),
-                 [this, cslot, body = std::move(body)](Endpoint& ep) {
-                   Client c(*this, ep, cslot);
+                 [this, cslot, tenant, body = std::move(body)](Endpoint& ep) {
+                   Client c(*this, ep, cslot, tenant);
                    body(c);
+                   if (tenant != nullptr) tenant->close();
                    nodes_[ep.node_id()]->client_counters.merge(c.counters());
                    // Last client out stops the service fibers (and the
                    // membership service, if this System owns it).
@@ -1039,6 +1153,7 @@ stats::Counters System::aggregate_counters() const {
     all.merge(ctx->server->counters());
     all.merge(ctx->client_counters);
   }
+  if (broker_) all.merge(broker_->aggregate_counters());
   return all;
 }
 

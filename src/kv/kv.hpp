@@ -55,6 +55,7 @@
 #include "member/member.hpp"
 #include "sim/wait_queue.hpp"
 #include "stats/counters.hpp"
+#include "svc/svc.hpp"
 #include "trace/histogram.hpp"
 
 namespace multiedge::kv {
@@ -66,9 +67,25 @@ enum class Status : std::uint8_t {
   kNoSpace = 2,        // bucket chain or partition slab full
   kWrongPrimary = 3,   // receiver does not consider itself primary (internal)
   kUnavailable = 4,    // no live replica / retry budget exhausted
+  kRejected = 5,       // broker admission control shed the op (back off)
 };
 
 const char* status_str(Status s);
+
+/// How client fibers reach remote primaries (the serving-tier axis bench/
+/// svc_bench sweeps; servers always use the node-shared connection cache).
+enum class ConnMode : std::uint8_t {
+  /// One shared connection per (node, peer), all client fibers multiplexed
+  /// onto it by the System's connection cache. The historical default.
+  kShared = 0,
+  /// Every client fiber owns private connections — the connection-per-client
+  /// anti-pattern (RDMAvisor), kept as the overload-collapse baseline.
+  kPerClient = 1,
+  /// Client data ops go through the svc::Broker: pooled connections, window
+  /// credits, admission control (ops can fail fast with Status::kRejected),
+  /// per-tenant DRR. See src/svc/svc.hpp.
+  kBroker = 2,
+};
 
 struct KvConfig {
   // --- placement ---
@@ -116,6 +133,12 @@ struct KvConfig {
   /// When false, GET becomes a server-mediated RPC like PUT (differential
   /// baseline for the one-sided path).
   bool one_sided_get = true;
+
+  /// Client-side connection strategy (see ConnMode). Server-side traffic
+  /// (replication, responses, acks) always uses the shared per-node cache.
+  ConnMode conn_mode = ConnMode::kShared;
+  /// Broker tuning, used when conn_mode == kBroker.
+  svc::BrokerConfig broker;
 };
 
 class System;
@@ -293,10 +316,21 @@ class Server {
   stats::Counters counters_;
 };
 
+/// One issued client data operation, uniform across connection modes: either
+/// a raw OpHandle (shared / per-client connections) or a brokered SvcOp.
+struct ClientOpRef {
+  OpHandle h;
+  svc::SvcOpPtr s;
+  bool valid() const { return h.valid() || s != nullptr; }
+  /// Terminal: completed, or rejected by broker admission control.
+  bool test() const { return s ? s->test() : h.test(); }
+  bool rejected() const { return s != nullptr && s->rejected(); }
+};
+
 /// Per-fiber client handle, created by System::spawn_client.
 class Client {
  public:
-  Client(System& sys, Endpoint& ep, int cslot);
+  Client(System& sys, Endpoint& ep, int cslot, svc::Tenant* tenant = nullptr);
 
   Status get(std::string_view key, std::string* out);
   Status put(std::string_view key, std::string_view value);
@@ -325,12 +359,27 @@ class Client {
   Status validate_snapshot(const std::byte* bucket, const std::byte* slots,
                            std::string_view key, std::string* out);
 
+  // Connection-mode-uniform issue path (ConnMode). Brokered ops may come
+  // back already rejected (admission control) — callers must check.
+  ClientOpRef issue_write(int peer, std::uint64_t remote_va,
+                          std::uint64_t local_va, std::uint32_t bytes,
+                          std::uint16_t flags);
+  ClientOpRef issue_read(int peer, std::uint64_t local_va,
+                         std::uint64_t remote_va, std::uint32_t bytes,
+                         std::uint16_t flags);
+  ClientOpRef issue_gather_read(int peer, std::vector<GatherSegment> segs,
+                                std::uint64_t remote_base, std::uint16_t flags);
+  /// Direct connection for kShared (node cache) / kPerClient (private, lazy).
+  Connection& direct_conn(int peer);
+
   System& sys_;
   Endpoint& ep_;
   int node_;
   int cslot_;
+  svc::Tenant* tenant_;             // kBroker mode only
+  std::vector<Connection> own_conns_;  // kPerClient mode only, lazy
   std::uint64_t seq_ = 0;
-  std::array<OpHandle, KvDomain::kGetBufSets> get_pending_{};
+  std::array<ClientOpRef, KvDomain::kGetBufSets> get_pending_{};
   stats::Counters counters_;
   trace::LatencyHistogram get_hist_;
   trace::LatencyHistogram put_hist_;
@@ -372,6 +421,8 @@ class System {
   /// consult: is_down == Dead; suspicion is refutable and NOT down).
   member::View& detector(int node) { return member_->view(node); }
   member::Service& membership() { return *member_; }
+  /// The client-path connection broker (nullptr unless conn_mode==kBroker).
+  svc::Broker* broker() { return broker_.get(); }
 
   /// Spawn a client fiber on `node`; client slots are assigned in spawn
   /// order per node (must stay below KvConfig::clients_per_node).
@@ -381,6 +432,7 @@ class System {
   void stop() {
     stop_ = true;
     if (owned_member_) owned_member_->stop();
+    if (broker_) broker_->stop();
   }
   bool stopped() const { return stop_; }
 
@@ -408,6 +460,7 @@ class System {
   KvDomain domain_;
   std::unique_ptr<member::Service> owned_member_;
   member::Service* member_;
+  std::unique_ptr<svc::Broker> broker_;  // conn_mode == kBroker only
   std::vector<std::unique_ptr<NodeCtx>> nodes_;
   bool stop_ = false;
   int clients_active_ = 0;

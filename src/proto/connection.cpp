@@ -176,7 +176,16 @@ std::uint16_t Connection::apply_signaling(std::uint16_t flags) {
   constexpr std::uint16_t kAlwaysSignaled =
       kOpFlagUrgent | kOpFlagSolicit | kOpFlagNotify | kOpFlagBackwardFence |
       kOpFlagForwardFence;
-  bool signaled = (flags & kAlwaysSignaled) != 0;
+  // Quiet-notify ops opt OUT of the force-signal for everything except
+  // Solicit/ForwardFence (where the initiator or its successors genuinely
+  // block on the ack): the initiator declared nobody waits, so only the
+  // every-Nth cadence applies. Notification delivery and fence apply-order
+  // are receiver-side and do not depend on the ack being solicited.
+  const std::uint16_t always =
+      (flags & kOpFlagQuietNotify)
+          ? static_cast<std::uint16_t>(kOpFlagSolicit | kOpFlagForwardFence)
+          : kAlwaysSignaled;
+  bool signaled = (flags & always) != 0;
   if (!signaled && ++unsignaled_run_ >= interval) signaled = true;
   if (signaled) {
     unsignaled_run_ = 0;
@@ -223,9 +232,10 @@ SendOpPtr Connection::submit_op(const SubmitSpec& s,
   }
 
   const bool ring_kept = s.allow_ring && will_batch(s.flags);
-  // kOpFlagBatched is a submit-side hint only; it never reaches the wire.
-  op->flags = static_cast<std::uint16_t>(apply_signaling(s.flags) &
-                                         ~kOpFlagBatched);
+  // kOpFlagBatched / kOpFlagQuietNotify are submit-side hints only; they
+  // never reach the wire.
+  op->flags = static_cast<std::uint16_t>(
+      apply_signaling(s.flags) & ~(kOpFlagBatched | kOpFlagQuietNotify));
 
   std::uint64_t dep = kNoFenceDep;
   if (s.use_fence_dep) {

@@ -114,6 +114,18 @@ enum OpFlags : std::uint16_t {
   /// explicitly, preserving wire-level urgency without per-op doorbells).
   /// Inert when batch_submission is off.
   kOpFlagBatched = 1u << 6,
+  /// Notify-without-signal wire class: the caller declares that nobody on
+  /// the INITIATOR side is latency-blocked on this op's acknowledgment, so
+  /// selective signaling (signal_interval > 1) may leave it unsignaled like
+  /// a plain op — only the every-Nth cadence applies. Exempts the op from
+  /// the force-signal normally implied by Notify, Urgent and BackwardFence;
+  /// Solicit and ForwardFence still force signaling (the initiator resp. its
+  /// successors genuinely block on the ack). Receiver-side semantics are
+  /// unaffected: notification delivery and fence apply-order ride the data
+  /// frames, not the ACK. Meant for fire-and-forget RPC responses (the KV
+  /// server never waits on a response write); an op someone wait()s on
+  /// should not carry it. Inert when signal_interval <= 1.
+  kOpFlagQuietNotify = 1u << 7,
 };
 
 /// Bits 8..15 of op_flags carry an 8-bit notification tag, so independent

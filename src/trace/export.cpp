@@ -19,6 +19,7 @@ constexpr int kTidDsm = 500;
 constexpr int kTidColl = 501;
 constexpr int kTidKv = 502;
 constexpr int kTidMember = 503;
+constexpr int kTidSvc = 504;
 constexpr int kTidConnBase = 1000;
 
 // Simulated picoseconds -> trace microseconds, printed with fixed precision
@@ -54,6 +55,8 @@ int event_tid(const Event& e) {
       return kTidKv;
     case EventType::kMemberProbe:
       return kTidMember;
+    case EventType::kSvcOp:
+      return kTidSvc;
     case EventType::kAckTx:
     case EventType::kAckRx:
     case EventType::kWindowStall:
@@ -78,6 +81,7 @@ std::string thread_label(int tid) {
   if (tid == kTidColl) return "coll";
   if (tid == kTidKv) return "kv";
   if (tid == kTidMember) return "member";
+  if (tid == kTidSvc) return "svc";
   if (tid >= kTidConnBase) return "conn" + std::to_string(tid - kTidConnBase);
   return "rail" + std::to_string(tid - kTidRailBase);
 }

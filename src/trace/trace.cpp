@@ -31,6 +31,7 @@ std::string_view event_name(EventType t) {
     case EventType::kKvHandler: return "kv_handler";
     case EventType::kKvRepl: return "kv_repl";
     case EventType::kMemberProbe: return "member_probe";
+    case EventType::kSvcOp: return "svc_op";
   }
   return "unknown";
 }
@@ -72,6 +73,8 @@ std::string_view event_category(EventType t) {
       return "kv";
     case EventType::kMemberProbe:
       return "member";
+    case EventType::kSvcOp:
+      return "svc";
   }
   return "unknown";
 }

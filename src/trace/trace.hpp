@@ -64,6 +64,9 @@ enum class EventType : std::uint8_t {
   kKvRepl,       // backup replication-apply span; a=op code, b=bytes
   // Membership (src/member).
   kMemberProbe,  // one SWIM probe round-trip span; a=target node, b=probe seq
+  // Serving-tier connection broker (src/svc).
+  kSvcOp,        // brokered op span, submit -> completion (queueing included);
+                 // a=(tenant id<<8)|kind, b=bytes
 };
 
 /// Single source of truth for which event types are duration (span) events —
@@ -81,6 +84,7 @@ constexpr bool is_span(EventType t) {
     case EventType::kKvHandler:
     case EventType::kKvRepl:
     case EventType::kMemberProbe:
+    case EventType::kSvcOp:
       return true;
     default:
       return false;

@@ -294,6 +294,114 @@ TEST(SelectiveSignaling, ExactlyOnceAcrossRailOutage) {
 }
 
 // ---------------------------------------------------------------------------
+// Notify-without-signal (kOpFlagQuietNotify)
+// ---------------------------------------------------------------------------
+
+// A notify op normally forces a signal; QuietNotify declares that nobody on
+// the initiator side blocks on the ack, so under a sparse signal interval the
+// op rides unsignaled like bulk — while every notification still arrives
+// (delivery rides the data frames, not the ACK).
+TEST(QuietNotify, NotifyOpsRideUnsignaledButStillNotify) {
+  auto run = [](bool quiet) {
+    CheckedCluster cluster(batched(config_1l_1g(2), 16,
+                                   /*signal_interval=*/64));
+    constexpr int kOps = 200;
+    constexpr std::uint32_t kBytes = 64;
+    const std::uint64_t src = cluster.memory(0).alloc(kOps * kBytes);
+    const std::uint64_t dst = cluster.memory(1).alloc(kOps * kBytes);
+    fill_pattern(cluster.memory(0), src, kOps * kBytes, 73);
+    const std::uint16_t flags = static_cast<std::uint16_t>(
+        kOpFlagNotify | kOpFlagBatched | (quiet ? kOpFlagQuietNotify : 0));
+    int delivered = 0;
+    cluster.spawn(0, "w", [&](Endpoint& ep) {
+      Connection c = ep.connect(1);
+      for (int i = 0; i < kOps - 1; ++i) {
+        c.rdma_write(
+            dst + std::uint64_t{static_cast<std::uint32_t>(i)} * kBytes,
+            src + std::uint64_t{static_cast<std::uint32_t>(i)} * kBytes,
+            kBytes, flags);
+      }
+      c.rdma_write(dst + std::uint64_t{kOps - 1} * kBytes,
+                   src + std::uint64_t{kOps - 1} * kBytes, kBytes, flags)
+          .wait();
+    });
+    cluster.spawn(1, "r", [&](Endpoint& ep) {
+      for (int i = 0; i < kOps; ++i) {
+        ep.wait_notification();
+        ++delivered;
+      }
+    });
+    cluster.run();
+    EXPECT_TRUE(check_pattern(cluster.memory(1), dst, kOps * kBytes, 73));
+    EXPECT_EQ(delivered, kOps);
+    return cluster.engine(0).aggregate_counters().get("ops_signaled");
+  };
+
+  const std::uint64_t loud = run(false);
+  const std::uint64_t quiet = run(true);
+  // Without QuietNotify every notify op is force-signaled.
+  EXPECT_EQ(loud, 200u);
+  // With it, only the every-Nth cadence signals (allow slack for the final
+  // waited op's flush boundary).
+  EXPECT_LE(quiet, 200u / 8);
+  EXPECT_GE(quiet, 200u / 64);
+}
+
+// Solicit means the INITIATOR blocks on the ack — QuietNotify must not
+// override it (nor ForwardFence, whose successors block the same way).
+TEST(QuietNotify, SolicitStillForcesSignaling) {
+  CheckedCluster cluster(batched(config_1l_1g(2), 16, /*signal_interval=*/64));
+  constexpr int kOps = 50;
+  const std::uint64_t src = cluster.memory(0).alloc(64);
+  const std::uint64_t dst = cluster.memory(1).alloc(64);
+  cluster.spawn(0, "w", [&](Endpoint& ep) {
+    Connection c = ep.connect(1);
+    for (int i = 0; i < kOps; ++i) {
+      c.rdma_write(dst, src, 64,
+                   kOpFlagNotify | kOpFlagQuietNotify | kOpFlagSolicit |
+                       kOpFlagBatched);
+    }
+    c.flush();
+  });
+  cluster.spawn(1, "r", [&](Endpoint& ep) {
+    for (int i = 0; i < kOps; ++i) ep.wait_notification();
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.engine(0).aggregate_counters().get("ops_signaled"),
+            static_cast<std::uint64_t>(kOps));
+}
+
+// With signal_interval == 1 (the default wire behavior) QuietNotify must be
+// completely inert: a quiet notify ping-pong takes exactly the simulated
+// time of a plain one.
+TEST(QuietNotify, InertAtSignalIntervalOne) {
+  auto run_pingpong = [](bool quiet) {
+    CheckedCluster cluster(config_1l_1g(2));
+    const std::uint64_t a = cluster.memory(0).alloc(64);
+    const std::uint64_t b = cluster.memory(1).alloc(64);
+    const std::uint16_t extra = quiet ? kOpFlagQuietNotify : kOpFlagNone;
+    sim::Time done = 0;
+    cluster.spawn(0, "ping", [&, extra](Endpoint& ep) {
+      Connection c = ep.connect(1);
+      c.rdma_write(b, a, 64, kOpFlagNotify | kOpFlagUrgent | extra);
+      ep.wait_notification();
+      done = ep.cluster().sim().now();
+    });
+    cluster.spawn(1, "pong", [&, extra](Endpoint& ep) {
+      Notification n = ep.wait_notification();
+      ep.connect(0).rdma_write(a, n.va, 64,
+                               kOpFlagNotify | kOpFlagUrgent | extra);
+    });
+    cluster.run();
+    return done;
+  };
+  const sim::Time plain = run_pingpong(false);
+  const sim::Time with_quiet = run_pingpong(true);
+  EXPECT_GT(plain, 0);
+  EXPECT_EQ(with_quiet, plain);
+}
+
+// ---------------------------------------------------------------------------
 // KV and collectives with batching forced on
 // ---------------------------------------------------------------------------
 
