@@ -1,0 +1,239 @@
+// Notified-access RMA benchmark (src/rma): token-forwarding latency around a
+// ring of nodes, comparing the two ways the passive side can learn that a
+// one-sided write arrived:
+//
+//   * poll   — the pre-§17 baseline: the initiator issues a plain write and
+//              the target sleep-polls the flag word at a fixed granularity
+//              (the progress-loop idiom the KV server and broker use for
+//              everything un-notified). Nothing solicits an event, so the
+//              lone flag frame also sits behind the NIC's interrupt
+//              moderation before it is even applied — polling pays for
+//              moderation plus discovery granularity.
+//   * notify — notified access: the initiator uses Window::put_notify and
+//              the target blocks in Window::wait_notify. The notification
+//              rides the urgent (solicited-event) wire class: the interrupt
+//              fires immediately and the waiter wakes the moment the payload
+//              is applied.
+//
+// Both modes push one 8-byte write per hop — the difference under
+// measurement is the completion-discovery mechanism notified access exists
+// to provide.
+//
+// Headline evidence (checked by --check against a committed baseline):
+//   * at 8 nodes, notified wait completes hops >= 1.3x faster than 1us
+//     sleep-polling (per-hop simulated latency ratio).
+//
+// Usage: rma_bench [--quick] [--json[=path]] [--check=<baseline>]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/api.hpp"
+#include "rma/rma.hpp"
+#include "sim/process.hpp"
+#include "stats/json.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace multiedge;
+
+enum class Mode { kPoll, kNotify };
+
+// The baseline's discovery granularity. 1us is the repo's standard
+// progress-loop poll (KV wait loops run 500ns-2us); finer polling burns
+// proportionally more CPU for a core that has real work to do.
+constexpr sim::Time kPollInterval = sim::us(1);
+constexpr int kTag = 14;
+
+struct Workload {
+  std::string name;
+  Mode mode;
+  int nodes;
+  int rounds;  // full ring circulations measured
+};
+
+struct Result {
+  double per_hop_us = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t counters_fnv = 0;
+};
+
+std::string wl_name(Mode m, int nodes) {
+  std::ostringstream os;
+  os << (m == Mode::kPoll ? "poll" : "notify") << "-ring-n" << nodes;
+  return os.str();
+}
+
+// One token circulates the ring `rounds + 1` times (the first circulation is
+// warmup: it absorbs connection setup). The token is a monotonically
+// increasing counter; hop k lands value k at node k % n. Node i forwards
+// value v by writing v + 1 into the next node's flag slot.
+Result run_workload(const Workload& w) {
+  const int n = w.nodes;
+  const int total_rounds = w.rounds + 1;  // + warmup circulation
+  ClusterConfig ccfg = config_1l_1g(n);
+  Cluster cluster(ccfg);
+
+  // Symmetric layout: one 8-byte flag slot + one 8-byte send scratch per node.
+  const std::uint64_t flag = cluster.memory(0).alloc(8);
+  const std::uint64_t scratch = cluster.memory(0).alloc(8);
+  for (int i = 1; i < n; ++i) {
+    if (cluster.memory(i).alloc(8) != flag ||
+        cluster.memory(i).alloc(8) != scratch) {
+      std::cerr << "asymmetric layout\n";
+      std::exit(1);
+    }
+  }
+
+  sim::Time t0 = 0, t1 = 0;
+  for (int i = 0; i < n; ++i) {
+    cluster.spawn(i, "ring" + std::to_string(i), [&, i](Endpoint& ep) {
+      rma::Window win(ep, {.tag = kTag});  // urgent + fenced defaults
+      auto raw = (w.mode == Mode::kPoll) ? ep.connect((i + 1) % n)
+                                         : Connection{};
+      auto forward = [&](std::uint64_t value) {
+        *ep.memory().as<std::uint64_t>(scratch) = value;
+        if (w.mode == Mode::kNotify) {
+          win.put_notify((i + 1) % n, flag, scratch, 8);
+        } else {
+          raw.rdma_write(flag, scratch, 8, kOpFlagNone);
+        }
+      };
+      // Node i receives token values congruent to i (mod n); node 0's first
+      // receipt is value n (it injects value 1 itself).
+      std::uint64_t next = (i == 0) ? static_cast<std::uint64_t>(n)
+                                    : static_cast<std::uint64_t>(i);
+      const std::uint64_t last =
+          next + static_cast<std::uint64_t>(n) * (total_rounds - 1);
+      if (i == 0) forward(1);
+      for (; next <= last; next += n) {
+        if (w.mode == Mode::kNotify) {
+          (void)win.wait_notify((i + n - 1) % n, flag);
+        } else {
+          while (*ep.memory().as<std::uint64_t>(flag) < next) {
+            sim::Process::current()->delay(kPollInterval);
+          }
+        }
+        // Warmup circulation done: node 0 starts the measured section the
+        // moment its first token lands.
+        if (i == 0 && next == static_cast<std::uint64_t>(n)) {
+          t0 = cluster.sim().now();
+        }
+        if (next != last || i != 0) forward(next + 1);
+      }
+      if (i == 0) t1 = cluster.sim().now();
+    });
+  }
+  cluster.run();
+
+  stats::Counters all;
+  for (int i = 0; i < n; ++i) {
+    all.merge(cluster.engine(i).aggregate_counters());
+  }
+
+  Result r;
+  r.per_hop_us = sim::to_us(t1 - t0) / (static_cast<double>(w.rounds) * n);
+  r.frames = all.get("data_frames_sent") + all.get("ack_frames_sent");
+  r.counters_fnv = bench::counters_fingerprint(all);
+  return r;
+}
+
+const Result* find(const std::vector<std::pair<Workload, Result>>& rs,
+                   const std::string& name) {
+  for (const auto& [w, r] : rs) {
+    if (w.name == name) return &r;
+  }
+  return nullptr;
+}
+
+// The headline property, asserted on the fresh run: at 8 nodes the notified
+// wait beats 1us sleep-polling by >= 1.3x per hop.
+bool check_headline(const std::vector<std::pair<Workload, Result>>& rs) {
+  const Result* poll = find(rs, wl_name(Mode::kPoll, 8));
+  const Result* notify = find(rs, wl_name(Mode::kNotify, 8));
+  if (!poll || !notify) {
+    std::cerr << "CHECK FAIL: 8-node workloads missing\n";
+    return false;
+  }
+  const double ratio =
+      notify->per_hop_us > 0 ? poll->per_hop_us / notify->per_hop_us : 0;
+  if (ratio < 1.3) {
+    std::cerr << "CHECK FAIL: notified wait only " << ratio
+              << "x faster than flag-polling at 8 nodes (need >= 1.3x)\n";
+    return false;
+  }
+  std::cout << "notified-wait OK: " << poll->per_hop_us << " us/hop polled vs "
+            << notify->per_hop_us << " us/hop notified (" << ratio << "x)\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "BENCH_rma.json");
+
+  std::cout << "== rma_bench: notified access vs flag polling (simulated) ==\n"
+            << "token forwarding around a ring; per-hop = simulated latency "
+               "from write issue to downstream discovery\n\n";
+
+  std::vector<Workload> ws;
+  const int rounds = args.quick ? 40 : 120;
+  for (int n : {2, 4, 8}) {
+    ws.push_back({wl_name(Mode::kPoll, n), Mode::kPoll, n, rounds});
+    ws.push_back({wl_name(Mode::kNotify, n), Mode::kNotify, n, rounds});
+  }
+
+  stats::Table t({"workload", "rounds", "per-hop(us)", "frames", "counters"});
+  std::vector<std::pair<Workload, Result>> results;
+  for (const Workload& w : ws) {
+    Result r = run_workload(w);
+    results.emplace_back(w, r);
+    t.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.rounds))
+        .cell(r.per_hop_us, 3)
+        .cell(r.frames)
+        .cell(bench::hex(r.counters_fnv));
+  }
+  t.print(std::cout);
+
+  const bool headline_ok = check_headline(results);
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    out << "{\n  \"benchmark\": \"rma\",\n  \"quick\": "
+        << (args.quick ? "true" : "false") << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& [w, r] = results[i];
+      out << "    {\"name\": \"" << w.name << "\", \"rounds\": " << w.rounds
+          << ", \"per_hop_us\": " << stats::json::number(r.per_hop_us)
+          << ", \"frames\": " << r.frames << ", \"counters_fnv1a\": \""
+          << bench::hex(r.counters_fnv) << "\"}"
+          << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << args.json_path << '\n';
+  }
+
+  if (!args.check_path.empty()) {
+    stats::json::Value doc;
+    if (!bench::load_baseline(args.check_path, &doc)) return 1;
+    bool ok = headline_ok;
+    ok &= bench::check_fingerprints(
+        doc,
+        [&](const std::string& name) -> const std::uint64_t* {
+          const Result* r = find(results, name);
+          return r ? &r->counters_fnv : nullptr;
+        },
+        "rma");
+    if (!ok) return 1;
+    std::cout << "check OK: headline property holds, fingerprints match\n";
+  }
+  return headline_ok ? 0 : 1;
+}

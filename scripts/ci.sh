@@ -69,6 +69,8 @@ if [ "$LABEL" = "tier1" ]; then
   ctest --test-dir "$BUILD_DIR" -L member --output-on-failure -j "$(nproc)"
   echo "== ctest -L svc"
   ctest --test-dir "$BUILD_DIR" -L svc --output-on-failure -j "$(nproc)"
+  echo "== ctest -L rma"
+  ctest --test-dir "$BUILD_DIR" -L rma --output-on-failure -j "$(nproc)"
 fi
 
 # A green test tier is necessary but not sufficient for the hot path: a
@@ -85,7 +87,7 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   echo "== bench smoke ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . "${BGEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BENCH_DIR" -j "$(nproc)" --target simspeed --target coll_bench \
-    --target kv_bench --target svc_bench --target scale_bench
+    --target kv_bench --target svc_bench --target scale_bench --target rma_bench
   # Protocol smoke: throughput floor + exact counter fingerprints, plus the
   # small-op submission-batching gate (smallop-batched must finish >= 1.3x
   # faster in simulated time than smallop-unbatched; see bench/simspeed.cpp).
@@ -109,6 +111,10 @@ if [ -z "${MULTIEDGE_SKIP_BENCH:-}" ] && [ -z "$SAN" ]; then
   # the full latency-vs-offered-load and incast curves (see ci.yml upload).
   "$BENCH_DIR"/bench/svc_bench --json="$BENCH_DIR"/BENCH_svc.json \
     --check=BENCH_svc.json
+  # Notified-access RMA: at 8 nodes, blocking in wait_notify must beat 1us
+  # flag-polling by >= 1.3x per hop, with exact counter fingerprints
+  # against BENCH_rma.json (see bench/rma_bench.cpp and DESIGN.md §17).
+  "$BENCH_DIR"/bench/rma_bench --check=BENCH_rma.json
   # Scale-out: SWIM vs mesh convergence, probe-rate asymptotics at 128
   # nodes, and KV/collective scaling on hierarchical fabrics, against the
   # committed BENCH_scale.json (full sweep: the 128-node rows ARE the gate).

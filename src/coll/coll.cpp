@@ -92,7 +92,14 @@ Communicator::Communicator(CollDomain& domain, Endpoint& ep)
       ep_(ep),
       rank_(ep.node_id()),
       size_(domain.num_nodes()),
-      conns_(static_cast<std::size_t>(domain.num_nodes())) {}
+      conns_(static_cast<std::size_t>(domain.num_nodes())),
+      // One unchecked window (puts target user buffers at arbitrary symmetric
+      // VAs) riding the communicator's own connection cache. Signals are the
+      // window's notified puts: urgent + backward-fenced + tagged, exactly
+      // the wire class the hand-rolled signal used.
+      win_(ep,
+           rma::WindowConfig{.tag = domain.config().tag},
+           [this](int peer) -> Connection& { return conn_to(peer); }) {}
 
 Connection& Communicator::conn_to(int peer) {
   assert(peer != rank_ && peer >= 0 && peer < size_);
@@ -104,27 +111,18 @@ void Communicator::signal(int peer, int chan) {
   // The token value is irrelevant (consumption is by counting), but give
   // each signal a fresh generation so traces are greppable.
   *ep_.memory().as<std::uint64_t>(domain_.sig_src_va()) = ++sig_gen_;
-  const std::uint16_t flags = kOpFlagNotify | kOpFlagBackwardFence |
-                              kOpFlagUrgent | op_tag_flags(config().tag);
-  conn_to(peer).rdma_write(domain_.slot_va(rank_, chan), domain_.sig_src_va(),
-                           8, flags);
+  win_.put_notify(peer, domain_.slot_va(rank_, chan), domain_.sig_src_va(), 8);
+  // The fenced urgent notify is what publishes the preceding puts; if put()
+  // opened an access epoch for them, this signal completes it.
+  if (win_.epoch_open()) win_.close();
   counters_.add(kCtrSignals);
 }
 
 void Communicator::consume_signal(int src, int chan) {
   const std::uint64_t want_va = domain_.slot_va(src, chan);
-  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
-    if (it->src_node == src && it->va == want_va) {
-      stash_.erase(it);
-      return;
-    }
-  }
   if (member_view_ == nullptr) {
-    for (;;) {
-      Notification n = ep_.wait_notification(config().tag);
-      if (n.src_node == src && n.va == want_va) return;
-      stash_.push_back(n);
-    }
+    win_.wait_notify(src, want_va);
+    return;
   }
   // Fail-fast path (membership attached): poll instead of blocking, so a
   // peer dying mid-collective surfaces as PeerFailure instead of a hang.
@@ -133,11 +131,8 @@ void Communicator::consume_signal(int src, int chan) {
   // barrier, ring) a rank can be blocked on an alive peer that is itself
   // stuck behind the dead one.
   for (;;) {
-    Notification n;
-    while (ep_.poll_notification(&n, config().tag)) {
-      if (n.src_node == src && n.va == want_va) return;
-      stash_.push_back(n);
-    }
+    rma::NotifyEvent ev;
+    if (win_.test_notify(&ev, src, want_va)) return;
     if (member_view_->num_down() > 0) {
       int dead = src;
       for (int p = 0; p < size_; ++p) {
@@ -167,18 +162,19 @@ std::uint32_t Communicator::chunk_bytes() const {
 
 void Communicator::put(int peer, std::uint64_t remote_va,
                        std::uint64_t local_va, std::uint32_t bytes) {
-  // Un-notified, un-waited writes; the fenced signal that follows is what
-  // publishes them. Chunking to one window's worth keeps successive chunks
-  // (and both rails, when striping) in flight concurrently. Under
-  // ProtocolConfig::batch_submission these chunks ride the submission ring
-  // and the urgent signal() that always follows on the same connection is
-  // the doorbell that releases them — one syscall per put+signal pair
-  // instead of one per chunk, with ordering kept by the backward fence.
+  // Un-notified, un-waited epoch writes; the fenced signal that follows is
+  // what publishes them (and closes the epoch this opens). Chunking to one
+  // window's worth keeps successive chunks (and both rails, when striping)
+  // in flight concurrently. Under ProtocolConfig::batch_submission these
+  // chunks ride the submission ring and the urgent signal() that always
+  // follows on the same connection is the doorbell that releases them — one
+  // syscall per put+signal pair instead of one per chunk, with ordering kept
+  // by the backward fence.
   const std::uint32_t chunk = chunk_bytes();
-  Connection& c = conn_to(peer);
+  if (!win_.epoch_open()) win_.open();
   for (std::uint32_t off = 0; off < bytes; off += chunk) {
     const std::uint32_t len = std::min(chunk, bytes - off);
-    c.rdma_write(remote_va + off, local_va + off, len);
+    win_.put(peer, remote_va + off, local_va + off, len);
   }
   counters_.add(kCtrBytesPut, bytes);
 }

@@ -13,10 +13,10 @@
 // symmetric scratch once per cluster: per-source signal slots and a staging
 // region for reduce trees and ring steps.
 //
-// Synchronization. A "signal" is an 8-byte rdma_write into the receiver's
-// (sender, channel) slot, flagged kOpFlagNotify and tagged with the
+// Synchronization. A "signal" is an 8-byte notified put (rma::Window
+// put_notify) into the receiver's (sender, channel) slot, tagged with the
 // collective notification tag so DSM traffic is never stolen. Every signal
-// carries kOpFlagBackwardFence, which makes the receiver apply it only after
+// is urgent and backward-fenced, which makes the receiver apply it only after
 // every previously submitted operation on that connection completed. That
 // gives two properties at once: "signal received" implies "all preceding
 // data landed" (in both in-order 2L and out-of-order 2Lu delivery modes),
@@ -32,7 +32,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -40,6 +39,7 @@
 
 #include "core/api.hpp"
 #include "member/member.hpp"
+#include "rma/rma.hpp"
 #include "stats/counters.hpp"
 
 namespace multiedge::coll {
@@ -215,6 +215,10 @@ class Communicator {
   Connection& conn_to(int peer);
 
   // -- signal plumbing (see file comment) --
+  // Signals ride the communicator's rma::Window: signal() is a put_notify
+  // that also closes the access epoch the preceding put() opened (the fenced
+  // urgent notify is what publishes the epoch's data), consume_signal() is a
+  // wait_notify/test_notify match on (source, slot address).
   void signal(int peer, int chan);
   void consume_signal(int src, int chan);
 
@@ -257,7 +261,7 @@ class Communicator {
   int size_;
   const member::View* member_view_ = nullptr;
   std::vector<Connection> conns_;  // lazily established, indexed by peer
-  std::deque<Notification> stash_;  // signals consumed out of request order
+  rma::Window win_;  // signal + put window over the communicator's conns_
   std::uint64_t sig_gen_ = 0;
   stats::Counters counters_;
 };

@@ -193,6 +193,11 @@ bool Endpoint::poll_notification(Notification* out, int tag) {
   return true;
 }
 
+bool Endpoint::poll_notification_match(Notification* out, int tag, int src,
+                                       std::uint64_t va) {
+  return engine_.pop_notification_match(tag, src, va, out);
+}
+
 void Endpoint::flush() {
   if (!engine_.has_dirty_rings()) return;
   charge_protocol(engine_.costs().syscall_cost);

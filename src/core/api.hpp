@@ -205,6 +205,11 @@ class Endpoint {
   /// other tags' notifications queued for their consumers.
   Notification wait_notification(int tag = -1);
   bool poll_notification(Notification* out, int tag = -1);
+  /// Matching poll (rma layer): consume only a notification carrying `tag`
+  /// that also came from `src` (< 0 = any) and targeted `va`
+  /// (proto::Engine::kAnyNotifyVa = any). Other notifications stay queued.
+  bool poll_notification_match(Notification* out, int tag, int src,
+                               std::uint64_t va);
 
   /// Flush every dirty submission ring on this node (batch_submission):
   /// one kernel entry covers all of them. No-op (and free) when nothing is

@@ -102,7 +102,22 @@ void DsmSystem::run(std::function<void(Dsm&)> worker) {
 // ---------------------------------------------------------------------------
 
 Dsm::Dsm(DsmSystem& system, Endpoint& ep, int rank)
-    : system_(system), ep_(ep), rank_(rank) {
+    : system_(system),
+      ep_(ep),
+      rank_(rank),
+      // Mailbox window: every DSM control message is a notified put into the
+      // destination's per-sender ring. Non-urgent (the service loop blocks on
+      // notify events anyway) and unfenced by default — send_msg pins the
+      // fence per message, exactly as the raw rdma_write idiom did.
+      msg_win_(ep,
+               rma::WindowConfig{
+                   .base = system.mailbox_base_,
+                   .bytes = static_cast<std::uint64_t>(system.cfg_.mailbox_bytes) *
+                            static_cast<std::uint64_t>(system.num_nodes()),
+                   .tag = 0,
+                   .urgent = false,
+                   .fenced = false},
+               [this](int node) -> Connection& { return conn_to(node); }) {
   pages_.resize(system_.cfg_.shared_bytes / system_.cfg_.page_bytes);
   staging_writer_ =
       MailboxWriter(system_.staging_base_, system_.cfg_.mailbox_bytes);
@@ -374,23 +389,22 @@ void Dsm::send_msg(int dst, Message m, bool fence) {
   const std::uint64_t src_va = staging_writer_.place(bytes.size());
   ep_.memory().write(src_va, bytes);
   const std::uint64_t dst_va = mailbox_writers_[dst].place(bytes.size());
-  std::uint16_t flags = kOpFlagNotify;
-  if (fence) flags |= kOpFlagBackwardFence;
-  conn_to(dst).rdma_write(dst_va, src_va,
-                          static_cast<std::uint32_t>(bytes.size()), flags);
+  msg_win_.put_notify(dst, dst_va, src_va,
+                      static_cast<std::uint32_t>(bytes.size()), fence);
 }
 
 void Dsm::service_loop() {
   while (!stop_service_) {
-    Notification n;
-    // Tag 0 only: collective signals (coll::kCollTag) belong to the worker
-    // fiber's Communicator and must not be stolen here.
-    if (ep_.poll_notification(&n, /*tag=*/0)) {
+    rma::NotifyEvent ev;
+    // The mailbox window matches tag 0 only: collective signals
+    // (coll::kCollTag) belong to the worker fiber's Communicator and must
+    // not be stolen here.
+    if (msg_win_.test_notify(&ev)) {
       const DsmConfig& cfg = system_.cfg_;
       stats_.overhead += cfg.msg_handling_cost;
       ep_.app_cpu().consume(cfg.msg_handling_cost);
       Message m;
-      if (Message::decode(ep_.memory().view(n.va, n.size), m)) {
+      if (Message::decode(ep_.memory().view(ev.va, ev.bytes), m)) {
         handle_msg(m);
       }
       continue;
@@ -579,9 +593,14 @@ void Dsm::barrier_collective() {
   all.pages.assign(since_barrier_pages_.begin(), since_barrier_pages_.end());
   since_barrier_pages_.clear();
   if (!all.pages.empty()) note.notices.push_back(std::move(all));
+  // The notice fan-out is one access epoch: n-1 notified puts published
+  // together (close() would ring the doorbell if the window were batched;
+  // here it just brackets the fan-out for the epoch counters and asserts).
+  msg_win_.open();
   for (int i = 0; i < num_nodes(); ++i) {
     if (i != rank_) send_msg(i, note, /*fence=*/false);
   }
+  msg_win_.close();
 
   comm_->barrier();
 

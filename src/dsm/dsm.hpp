@@ -34,6 +34,7 @@
 #include "core/api.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
+#include "rma/rma.hpp"
 #include "sim/wait_queue.hpp"
 
 namespace multiedge::dsm {
@@ -180,6 +181,9 @@ class Dsm {
   std::map<int, Connection> conns_;
   std::vector<MailboxWriter> mailbox_writers_;  // indexed by destination
   MailboxWriter staging_writer_;                // local outbound staging ring
+  rma::Window msg_win_;  // tag-0 window over the mailbox rings: every control
+                         // message is a notified put, the service loop a
+                         // test_notify + notify-event wait
 
   std::map<int, LockState> lock_states_;
   std::map<int, ManagedLock> managed_locks_;

@@ -292,7 +292,28 @@ void HostBarrier::arrive_and_wait(int expected) {
 // Server
 // ---------------------------------------------------------------------------
 
-Server::Server(System& sys, int node) : sys_(sys), node_(node) {
+Server::Server(System& sys, int node)
+    : sys_(sys),
+      node_(node),
+      // Replication fan-out window: fenced urgent notified puts on repl_tag,
+      // QuietNotify (the primary blocks on the backup's ack word, never on
+      // this op's own completion), ring-batched exactly when server bursting
+      // is on — closing the fan-out epoch is then the burst doorbell.
+      repl_win_(sys.cluster().endpoint(node),
+                rma::WindowConfig{.tag = sys.config().repl_tag,
+                                  .quiet = true,
+                                  .batched = sys.config().server_burst > 1},
+                [this](int peer) -> Connection& {
+                  return sys_.conn_to(sys_.cluster().endpoint(node_), peer);
+                }),
+      // Ack window: each ack is a notified put of the generation word. The
+      // notification is a wakeup hint for the primary's ack wait; the word
+      // itself stays authoritative (late or duplicated hints are harmless).
+      ack_win_(sys.cluster().endpoint(node),
+               rma::WindowConfig{.tag = sys.config().ack_tag, .quiet = true},
+               [this](int peer) -> Connection& {
+                 return sys_.conn_to(sys_.cluster().endpoint(node_), peer);
+               }) {
   free_slots_.resize(sys.config().partitions);
   next_fresh_.assign(sys.config().partitions, 0);
 }
@@ -306,8 +327,14 @@ void Server::serve(Endpoint& ep) {
     // services replication traffic itself while waiting for acks).
     if (lock_.try_lock()) {
       Notification n;
-      if (ep.poll_notification(&n, cfg.repl_tag)) {
-        handle_repl(ep, n);
+      rma::NotifyEvent ev;
+      // Late ack hints (a backup acking after the detector made the primary
+      // abandon it) are consumed here so they never pile up; the ack words
+      // they announce were already applied by the data frames.
+      while (ack_win_.test_notify(&ev)) {
+      }
+      if (repl_win_.test_notify(&ev)) {
+        handle_repl(ep, ev);
         did = true;
       } else if (ep.poll_notification(&n, cfg.req_tag)) {
         handle_request(ep, n);
@@ -545,20 +572,16 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   const std::uint32_t bytes =
       static_cast<std::uint32_t>(sizeof(ReqHeader) + key.size() + value.size());
 
-  // With server bursting, the fan-out writes ride the submission rings and
-  // one doorbell pushes the whole replication round out; the flush below is
-  // mandatory before blocking on acks (a parked write would never start).
-  // QuietNotify: the primary blocks on the backup's ACK WORD (a separate
-  // one-sided write back), never on this op's acknowledgment, so under
-  // selective signaling the fan-out may ride unsignaled.
-  std::uint16_t flags = kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence |
-                        kOpFlagQuietNotify | op_tag_flags(cfg.repl_tag);
-  if (cfg.server_burst > 1) flags |= kOpFlagBatched;
+  // The fan-out is one access epoch on the replication window. With server
+  // bursting the window is batched: the notified puts park in the submission
+  // rings and close() is the doorbell that pushes the whole replication
+  // round out — mandatory before blocking on acks (a parked write would
+  // never start).
+  repl_win_.open();
   for (int t : targets) {
-    Connection& cn = sys_.conn_to(ep, t);
-    cn.rdma_write(dom.repl_slot_va(node_), build, bytes, flags);
+    repl_win_.put_notify(t, dom.repl_slot_va(node_), build, bytes);
   }
-  if (cfg.server_burst > 1) ep.flush();
+  repl_win_.close();
   counters_.add(kCtrReplSent, targets.size());
 
   // Wait for every live backup's ack (its per-primary ack word reaching this
@@ -567,8 +590,11 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   // is no ack timeout: a backup either acks or gets marked down.
   std::vector<char> acked(targets.size(), 0);
   for (;;) {
-    Notification n;
-    while (ep.poll_notification(&n, cfg.repl_tag)) handle_repl(ep, n);
+    rma::NotifyEvent ev;
+    while (repl_win_.test_notify(&ev)) handle_repl(ep, ev);
+    // Drain ack hints; the generation words checked below are authoritative.
+    while (ack_win_.test_notify(&ev)) {
+    }
     bool all = true;
     for (std::size_t i = 0; i < targets.size(); ++i) {
       if (acked[i]) continue;
@@ -589,14 +615,14 @@ void Server::replicate(Endpoint& ep, std::uint32_t op, int partition,
   }
 }
 
-void Server::handle_repl(Endpoint& ep, const Notification& n) {
+void Server::handle_repl(Endpoint& ep, const rma::NotifyEvent& n) {
   const KvDomain& dom = sys_.domain();
   proto::MemorySpace& mem = ep.memory();
   // Snapshot before apply: apply() charges CPU (yields), and the sender may
   // reuse the slot for the next generation once it prunes a slow ack.
   const ReqHeader h_copy = *mem.as<ReqHeader>(n.va);
   const ReqHeader* h = &h_copy;
-  const int src = n.src_node;
+  const int src = n.src;
   const int p = static_cast<int>(h->partition);
   counters_.add(kCtrReplReceived);
   // Replication span: child of the replication write's receive span; the
@@ -628,19 +654,16 @@ void Server::handle_repl(Endpoint& ep, const Notification& n) {
       counters_.add(kCtrReplDups);
     }
   }
-  // Ack unconditionally (a pure one-sided write of the generation number;
-  // the sender polls the word). Withholding acks would wedge a primary
-  // whose ring view disagrees with ours.
+  // Ack unconditionally — a notified put of the generation number on the
+  // ack window. Withholding acks would wedge a primary whose ring view
+  // disagrees with ours. The window is fenced (ack writes from this node
+  // must apply in issue order at the primary, or a retransmitted older ack
+  // could land after and mask a newer generation, wedging the primary's ack
+  // wait) and quiet (the primary consumes the ack as a notification / the
+  // delivered word, never this op's initiator-side acknowledgment).
   const std::uint64_t src_slot = dom.ack_src_va() + std::uint64_t{8} * src;
   *mem.as<std::uint64_t>(src_slot) = h->repl_gen;
-  // BackwardFence: ack writes from this node must apply in issue order at
-  // the primary, or a retransmitted older ack could land after (and mask) a
-  // newer generation, wedging the primary's ack wait.
-  // QuietNotify: the primary polls the ack word delivered by the data frame,
-  // not this op's acknowledgment — no initiator-side waiter to signal for.
-  sys_.conn_to(ep, src).rdma_write(
-      dom.ack_slot_va(node_), src_slot, 8,
-      kOpFlagUrgent | kOpFlagBackwardFence | kOpFlagQuietNotify);
+  ack_win_.put_notify(src, dom.ack_slot_va(node_), src_slot, 8);
   if (rctx.active()) {
     tr->record_span(r0, sys_.cluster().sim().now() - r0,
                     trace::EventType::kKvRepl, node_, -1, -1, h->op, h->seq,
@@ -804,6 +827,12 @@ Status Client::del(std::string_view key) {
 
 void Client::pause(sim::Time t) { idle_wait(t); }
 
+Status Client::shed(const ClientOpRef& r) {
+  last_retry_after_ = r.retry_after();
+  counters_.add(kCtrRejected);
+  return Status::kRejected;
+}
+
 Status Client::rpc(std::uint32_t op, std::string_view key,
                    std::string_view value, std::string* out) {
   const KvConfig& cfg = sys_.config();
@@ -862,9 +891,9 @@ Status Client::rpc(std::uint32_t op, std::string_view key,
     if (req.rejected()) {
       // Broker admission control shed the request before it touched the
       // wire: fail fast so the caller backs off instead of piling retries
-      // onto an already-saturated serving tier.
-      counters_.add(kCtrRejected);
-      return Status::kRejected;
+      // onto an already-saturated serving tier. The broker's retry-after
+      // hint rides along (last_retry_after()).
+      return shed(req);
     }
     // The poll loop below never auto-flushes; brokered ops are flushed by
     // the broker's dispatcher instead.
@@ -951,8 +980,7 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
     const ClientOpRef h = issue_read(primary, buf, entry_va, entry_bytes,
                                      rflags);
     if (h.rejected()) {
-      counters_.add(kCtrRejected);
-      return Status::kRejected;
+      return shed(h);
     }
     get_pending_[set] = h;
     if (!wait_ref(ep_, h, cfg.get_timeout, cfg.client_poll)) {
@@ -960,8 +988,7 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
       continue;  // re-resolve: the primary may be on its way down
     }
     if (h.rejected()) {  // broker stopped mid-wait and shed the queue
-      counters_.add(kCtrRejected);
-      return Status::kRejected;
+      return shed(h);
     }
     const std::uint64_t* e = mem.as<std::uint64_t>(buf);
     const std::uint64_t count = e[0];
@@ -991,8 +1018,7 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
     const ClientOpRef g =
         issue_gather_read(primary, std::move(segs), slab_base, rflags);
     if (g.rejected()) {
-      counters_.add(kCtrRejected);
-      return Status::kRejected;
+      return shed(g);
     }
     get_pending_[set] = g;
     if (!wait_ref(ep_, g, cfg.get_timeout, cfg.client_poll)) {
@@ -1000,8 +1026,7 @@ Status Client::one_sided_get(std::string_view key, std::string* out) {
       continue;
     }
     if (g.rejected()) {
-      counters_.add(kCtrRejected);
-      return Status::kRejected;
+      return shed(g);
     }
     const Status st = validate_snapshot(mem.as<std::byte>(buf),
                                         mem.as<std::byte>(buf + entry_pad),

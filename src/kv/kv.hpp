@@ -17,8 +17,11 @@
 //    writes the request into its per-(node, slot) mailbox on the primary
 //    (kOpFlagNotify | kOpFlagUrgent | kOpFlagBackwardFence, request tag);
 //    the primary applies the mutation under the record version protocol,
-//    replicates it as a fenced urgent-notify RPC to every live backup, waits
-//    for all replication acks, and only then writes the response into the
+//    replicates it through a notified-access rma::Window (one access epoch
+//    of fenced urgent notified puts to every live backup; the epoch close is
+//    the burst doorbell), waits for all replication acks — each ack a
+//    notified put of the generation word on the ack window — and only then
+//    writes the response into the
 //    client's per-server response slot. Requests carry a per-client sequence
 //    number; a (partition, client) last-seq table — maintained on every
 //    replica — makes retried and duplicated requests idempotent, so a write
@@ -53,6 +56,7 @@
 #include "core/api.hpp"
 #include "kv/ring.hpp"
 #include "member/member.hpp"
+#include "rma/rma.hpp"
 #include "sim/wait_queue.hpp"
 #include "stats/counters.hpp"
 #include "svc/svc.hpp"
@@ -286,7 +290,7 @@ class Server {
   };
 
   void handle_request(Endpoint& ep, const Notification& n);
-  void handle_repl(Endpoint& ep, const Notification& n);
+  void handle_repl(Endpoint& ep, const rma::NotifyEvent& n);
   ApplyResult dispatch(Endpoint& ep, std::uint32_t op, std::string_view key,
                        std::string_view value, std::uint64_t seq,
                        int client_node, int cslot);
@@ -313,6 +317,8 @@ class Server {
   std::vector<std::vector<std::uint32_t>> free_slots_;  // [partition]
   std::vector<std::uint32_t> next_fresh_;               // [partition]
   std::uint32_t repl_gen_ = 0;  // stamps replication RPCs; acked by value
+  rma::Window repl_win_;  // replication fan-out: notified puts on repl_tag
+  rma::Window ack_win_;   // replication acks: notified puts on ack_tag
   stats::Counters counters_;
 };
 
@@ -325,6 +331,8 @@ struct ClientOpRef {
   /// Terminal: completed, or rejected by broker admission control.
   bool test() const { return s ? s->test() : h.test(); }
   bool rejected() const { return s != nullptr && s->rejected(); }
+  /// Broker retry-after hint accompanying a rejection (0 otherwise).
+  sim::Time retry_after() const { return s ? s->retry_after : 0; }
 };
 
 /// Per-fiber client handle, created by System::spawn_client.
@@ -346,7 +354,15 @@ class Client {
   trace::LatencyHistogram& get_hist() { return get_hist_; }
   trace::LatencyHistogram& put_hist() { return put_hist_; }
 
+  /// Broker retry-after hint attached to the most recent kRejected status:
+  /// how long the broker suggests backing off before resubmitting (derived
+  /// from the depth of the queue that shed the op). 0 if the last rejection
+  /// carried no hint or no op was rejected yet.
+  sim::Time last_retry_after() const { return last_retry_after_; }
+
  private:
+  /// Uniform shed path: record the rejection + its retry-after hint.
+  Status shed(const ClientOpRef& r);
   Status rpc(std::uint32_t op, std::string_view key, std::string_view value,
              std::string* out);
   Status one_sided_get(std::string_view key, std::string* out);
@@ -379,6 +395,7 @@ class Client {
   svc::Tenant* tenant_;             // kBroker mode only
   std::vector<Connection> own_conns_;  // kPerClient mode only, lazy
   std::uint64_t seq_ = 0;
+  sim::Time last_retry_after_ = 0;  // hint from the latest broker rejection
   std::array<ClientOpRef, KvDomain::kGetBufSets> get_pending_{};
   stats::Counters counters_;
   trace::LatencyHistogram get_hist_;

@@ -420,6 +420,32 @@ Notification Engine::pop_notification(int tag) {
   return Notification{};
 }
 
+namespace {
+bool notify_matches(const Notification& n, int tag, int src, std::uint64_t va) {
+  return static_cast<int>(n.tag) == tag && (src < 0 || n.src_node == src) &&
+         (va == Engine::kAnyNotifyVa || n.va == va);
+}
+}  // namespace
+
+bool Engine::has_notification_match(int tag, int src, std::uint64_t va) const {
+  for (const Notification& n : notifications_) {
+    if (notify_matches(n, tag, src, va)) return true;
+  }
+  return false;
+}
+
+bool Engine::pop_notification_match(int tag, int src, std::uint64_t va,
+                                    Notification* out) {
+  for (auto it = notifications_.begin(); it != notifications_.end(); ++it) {
+    if (notify_matches(*it, tag, src, va)) {
+      *out = *it;
+      notifications_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 stats::Counters Engine::aggregate_counters() const {
   stats::Counters out = counters_;
   for (const auto& c : conns_) out.merge(c->counters());

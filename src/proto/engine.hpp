@@ -77,6 +77,15 @@ class Engine {
   /// tagged consumers see per-tag arrival order.
   bool has_notification(int tag = -1) const;
   Notification pop_notification(int tag = -1);
+  /// Matching variants (used by the rma layer, src/rma): consume the FIRST
+  /// queued notification carrying `tag` whose source node and target address
+  /// also match. `src < 0` matches any source; `va == kAnyNotifyVa` matches
+  /// any address. Non-matching notifications stay queued in arrival order
+  /// for their own consumers.
+  static constexpr std::uint64_t kAnyNotifyVa = ~std::uint64_t{0};
+  bool has_notification_match(int tag, int src, std::uint64_t va) const;
+  bool pop_notification_match(int tag, int src, std::uint64_t va,
+                              Notification* out);
   sim::WaitQueue& notify_events() { return notify_events_; }
 
   // --- infrastructure used by Connection ---

@@ -89,6 +89,11 @@ void Tenant::close() {
   broker_.on_tenant_closed();
 }
 
+void Tenant::set_weight(std::uint32_t w) {
+  if (w < 1) throw std::invalid_argument("svc: tenant weight must be >= 1");
+  weight_ = w;
+}
+
 // ---------------------------------------------------------------------------
 // Broker
 // ---------------------------------------------------------------------------
@@ -277,14 +282,20 @@ SvcOpPtr Broker::submit(Tenant& t, SvcOpPtr op) {
     ns.counters.add(kCtrStopRejected);
     return op;
   }
-  // Admission control: reject instead of queueing beyond the bounds.
+  // Admission control: reject instead of queueing beyond the bounds. The
+  // rejection carries a retry-after hint sized to the backlog that bounced
+  // the op: each queued op costs at least one dispatcher visit, and an idle
+  // dispatcher ticks every dispatch_poll, so depth x poll approximates the
+  // time for the queue to drain back under its bound.
   if (t.queued_ >= cfg_.tenant_queue_limit) {
     op->state = SvcOp::State::kRejected;
+    op->retry_after = cfg_.dispatch_poll * static_cast<sim::Time>(t.queued_);
     t.counters_.add(kCtrRejectedTenant);
     return op;
   }
   if (pool.queued >= cfg_.peer_queue_limit) {
     op->state = SvcOp::State::kRejected;
+    op->retry_after = cfg_.dispatch_poll * static_cast<sim::Time>(pool.queued);
     t.counters_.add(kCtrRejectedPeer);
     return op;
   }
@@ -346,7 +357,13 @@ bool Broker::dispatch_pass(Endpoint& ep, NodeState& ns) {
     while (visits-- > 0 && !pool.rr.empty()) {
       TenantQueue* tq = pool.rr.front();
       pool.rr.pop_front();
-      tq->deficit += cfg_.drr_quantum_bytes;
+      // Weighted DRR: a tenant's queue earns weight x quantum per visit, so
+      // long-run throughput shares converge to the weight ratio. Weight 1
+      // (the default) is plain DRR, byte for byte.
+      const std::uint64_t quantum =
+          static_cast<std::uint64_t>(cfg_.drr_quantum_bytes) *
+          tq->tenant->weight_;
+      tq->deficit += quantum;
       ns.counters.add(kCtrDrrRounds);
       bool credit_blocked = false;
       while (!tq->q.empty()) {
@@ -359,8 +376,7 @@ bool Broker::dispatch_pass(Endpoint& ep, NodeState& ns) {
           // A credit-blocked visit is not a service opportunity: take this
           // visit's quantum back, or stalls would inflate the deficit into
           // an unfair burst once credits free up.
-          tq->deficit -=
-              std::min<std::uint64_t>(tq->deficit, cfg_.drr_quantum_bytes);
+          tq->deficit -= std::min<std::uint64_t>(tq->deficit, quantum);
           credit_blocked = true;
           break;
         }

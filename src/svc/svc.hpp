@@ -75,7 +75,8 @@ struct BrokerConfig {
   std::uint32_t peer_queue_limit = 64;
   /// Admission bound: queued ops per tenant across all peers.
   std::uint32_t tenant_queue_limit = 16;
-  /// DRR byte quantum added to a tenant queue's deficit per service visit.
+  /// DRR byte quantum added to a tenant queue's deficit per service visit
+  /// (multiplied by the tenant's weight — Tenant::set_weight).
   std::uint32_t drr_quantum_bytes = 4096;
   /// Scale pooled-connection credits down while the node's worst egress
   /// rail is sick (see trace::RailHealth::Snapshot::score).
@@ -109,6 +110,11 @@ struct SvcOp {
   sim::Time submitted_at = 0;
   trace::SpanContext ctx;           // kSvcOp span
   std::uint64_t parent_span = 0;
+  /// Retry-after hint, set on admission-control rejections: the suggested
+  /// backoff before resubmitting, derived from the depth of the queue that
+  /// bounced the op (deeper backlog -> longer hint). Zero on stop-path
+  /// rejections — the broker is going away, retrying is pointless.
+  sim::Time retry_after = 0;
 
   /// Terminal-state query: rejected, or dispatched and complete.
   bool test() const {
@@ -139,6 +145,12 @@ class Tenant {
   /// dispatcher fibers.
   void close();
 
+  /// DRR service weight: this tenant's queues earn `weight x
+  /// drr_quantum_bytes` per dispatcher visit. Default 1 — every byte of
+  /// behavior (and every fingerprint) is identical until a weight is set.
+  void set_weight(std::uint32_t w);
+  std::uint32_t weight() const { return weight_; }
+
   int node() const { return node_; }
   int id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -155,6 +167,7 @@ class Tenant {
   int id_;           // node-local tenant index (pins the pool slot)
   std::string name_;
   bool closed_ = false;
+  std::uint32_t weight_ = 1;  // DRR quantum multiplier
   std::uint32_t queued_ = 0;  // queued (not dispatched) ops, all peers
   stats::Counters counters_;
 };

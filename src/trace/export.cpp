@@ -20,6 +20,7 @@ constexpr int kTidColl = 501;
 constexpr int kTidKv = 502;
 constexpr int kTidMember = 503;
 constexpr int kTidSvc = 504;
+constexpr int kTidRma = 505;
 constexpr int kTidConnBase = 1000;
 
 // Simulated picoseconds -> trace microseconds, printed with fixed precision
@@ -57,6 +58,9 @@ int event_tid(const Event& e) {
       return kTidMember;
     case EventType::kSvcOp:
       return kTidSvc;
+    case EventType::kRmaOp:
+    case EventType::kRmaSubmit:
+      return kTidRma;
     case EventType::kAckTx:
     case EventType::kAckRx:
     case EventType::kWindowStall:
@@ -82,6 +86,7 @@ std::string thread_label(int tid) {
   if (tid == kTidKv) return "kv";
   if (tid == kTidMember) return "member";
   if (tid == kTidSvc) return "svc";
+  if (tid == kTidRma) return "rma";
   if (tid >= kTidConnBase) return "conn" + std::to_string(tid - kTidConnBase);
   return "rail" + std::to_string(tid - kTidRailBase);
 }

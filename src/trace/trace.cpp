@@ -32,6 +32,8 @@ std::string_view event_name(EventType t) {
     case EventType::kKvRepl: return "kv_repl";
     case EventType::kMemberProbe: return "member_probe";
     case EventType::kSvcOp: return "svc_op";
+    case EventType::kRmaOp: return "rma_op";
+    case EventType::kRmaSubmit: return "rma_submit";
   }
   return "unknown";
 }
@@ -75,6 +77,9 @@ std::string_view event_category(EventType t) {
       return "member";
     case EventType::kSvcOp:
       return "svc";
+    case EventType::kRmaOp:
+    case EventType::kRmaSubmit:
+      return "rma";
   }
   return "unknown";
 }

@@ -67,6 +67,13 @@ enum class EventType : std::uint8_t {
   // Serving-tier connection broker (src/svc).
   kSvcOp,        // brokered op span, submit -> completion (queueing included);
                  // a=(tenant id<<8)|kind, b=bytes
+  // Notified-access RMA layer (src/rma).
+  kRmaOp,        // one window op span, issue -> local completion;
+                 // a=peer node, b=bytes
+  kRmaSubmit,    // instant anchoring a window op's span the moment it is
+                 // issued (like kOpSubmit: a quiet fire-and-forget op whose
+                 // ack never lands still resolves in the stitched tree);
+                 // a=peer node, b=bytes
 };
 
 /// Single source of truth for which event types are duration (span) events —
@@ -85,6 +92,7 @@ constexpr bool is_span(EventType t) {
     case EventType::kKvRepl:
     case EventType::kMemberProbe:
     case EventType::kSvcOp:
+    case EventType::kRmaOp:
       return true;
     default:
       return false;

@@ -187,6 +187,68 @@ TEST(SvcBrokerTest, DrrKeepsLightTenantLatencyBoundedUnderHog) {
 }
 
 // ---------------------------------------------------------------------------
+// Weighted DRR: two backlogged classes split bandwidth by weight
+// ---------------------------------------------------------------------------
+
+TEST(SvcBrokerTest, WeightedDrrSplitsBandwidthByWeight) {
+  // Same contention shape as the hog test: a small credit cap keeps both
+  // backlogs at the broker where DRR referees. Two tenants submit IDENTICAL
+  // deep backlogs; the only asymmetry is weight 3 vs 1. While both are
+  // backlogged the heavy class gets ~3/4 of the service, so it drains in
+  // ~4N/3 service units and the light class (N/3 done by then, full rate
+  // after) in ~2N — a ~1.5x spread the assertions pin loosely.
+  CheckedCluster cluster(config_1l_1g(2));
+  svc::BrokerConfig bcfg;
+  bcfg.credits_per_conn = 12;  // at most 2 ops (6 frames each) in flight
+  bcfg.tenant_queue_limit = 64;
+  bcfg.peer_queue_limit = 256;
+  svc::Broker broker(cluster, bcfg);
+
+  constexpr int kOps = 24;
+  constexpr std::uint32_t kBytes = 8192;
+  const std::uint64_t dst = cluster.memory(1).alloc(kBytes * 2);
+  const std::uint64_t src = cluster.memory(0).alloc(kBytes * 2);
+
+  svc::Tenant& heavy = broker.attach(0, "heavy");
+  svc::Tenant& light = broker.attach(0, "light");
+  heavy.set_weight(3);
+  ASSERT_EQ(heavy.weight(), 3u);
+  ASSERT_EQ(light.weight(), 1u);
+
+  sim::Time heavy_done = 0, light_done = 0;
+  auto run_class = [&](svc::Tenant& t, std::uint64_t d, std::uint64_t s,
+                       sim::Time* done) {
+    std::vector<svc::SvcOpPtr> ops;
+    for (int i = 0; i < kOps; ++i) {
+      ops.push_back(t.write(1, d, s, kBytes, kOpFlagSolicit));
+    }
+    for (const auto& op : ops) {
+      ASSERT_TRUE(svc::wait_svc_op(cluster, op, sim::sec(1), sim::ns(500)));
+      ASSERT_FALSE(op->rejected());
+    }
+    *done = cluster.sim().now();
+    t.close();
+  };
+  cluster.spawn(0, "heavy", [&](Endpoint&) {
+    run_class(heavy, dst, src, &heavy_done);
+  });
+  cluster.spawn(0, "light", [&](Endpoint&) {
+    run_class(light, dst + kBytes, src + kBytes, &light_done);
+  });
+  cluster.run();
+
+  // No starvation in either direction: both classes finish everything...
+  EXPECT_GT(heavy_done, 0);
+  EXPECT_GT(light_done, 0);
+  // ...but the heavy class drains decisively first, and by a margin in the
+  // ballpark weighted DRR predicts (1.5x), not a rounding accident.
+  EXPECT_LT(heavy_done, light_done);
+  EXPECT_GT(light_done, heavy_done + (heavy_done / 4))
+      << "weights had no visible effect on the drain order";
+  EXPECT_GT(broker.aggregate_counters().get("svc_drr_rounds"), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Admission control: bounded queues, immediate rejection, books balance
 // ---------------------------------------------------------------------------
 
@@ -236,6 +298,56 @@ TEST(SvcBrokerTest, AdmissionRejectsBeyondQueueBounds) {
                 agg.get("svc_rejected_peer_queue"),
             static_cast<std::uint64_t>(rejected));
   EXPECT_EQ(broker.queued_ops(0, 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry-after hints: rejections tell the tenant how long to back off
+// ---------------------------------------------------------------------------
+
+TEST(SvcBrokerTest, RejectionCarriesRetryAfterHint) {
+  CheckedCluster cluster(config_1l_1g(2));
+  svc::BrokerConfig bcfg;
+  bcfg.tenant_queue_limit = 4;
+  bcfg.peer_queue_limit = 8;
+  svc::Broker broker(cluster, bcfg);
+
+  constexpr int kTenants = 3;
+  constexpr int kOpsEach = 32;
+  const std::uint64_t dst = cluster.memory(1).alloc(1024);
+  const std::uint64_t src = cluster.memory(0).alloc(1024);
+
+  int rejected = 0, accepted = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    svc::Tenant* tenant = &broker.attach(0, "t" + std::to_string(t));
+    cluster.spawn(0, "t" + std::to_string(t), [&, tenant](Endpoint&) {
+      std::vector<svc::SvcOpPtr> ops;
+      for (int i = 0; i < kOpsEach; ++i) {
+        ops.push_back(tenant->write(1, dst, src, 1024, kOpFlagNone));
+        const svc::SvcOpPtr& op = ops.back();
+        if (op->rejected()) {
+          ++rejected;
+          // The hint is the bounced queue's depth in dispatcher ticks —
+          // at least one full tick, and bounded by the larger admission
+          // limit (the queue can never be deeper than the bound it hit).
+          EXPECT_GE(op->retry_after, bcfg.dispatch_poll);
+          EXPECT_LE(op->retry_after,
+                    bcfg.dispatch_poll *
+                        static_cast<sim::Time>(bcfg.peer_queue_limit));
+        } else {
+          ++accepted;
+          EXPECT_EQ(op->retry_after, 0) << "accepted ops carry no hint";
+        }
+      }
+      for (const auto& op : ops) {
+        ASSERT_TRUE(svc::wait_svc_op(cluster, op, sim::sec(1), sim::ns(500)));
+      }
+      tenant->close();
+    });
+  }
+  cluster.run();
+
+  EXPECT_GT(rejected, 0) << "overload never tripped admission control";
+  EXPECT_GT(accepted, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +464,53 @@ TEST(SvcKvTest, BrokerModeMatchesReferenceMap) {
   // connection each, regardless of the 2 tenants per node.
   EXPECT_LE(sys.broker()->connections_opened(),
             static_cast<std::uint64_t>(kN * (kN - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Retry-after surfaces through the KV client
+// ---------------------------------------------------------------------------
+
+TEST(SvcKvTest, RejectedOpSurfacesRetryAfterHintToClient) {
+  constexpr int kN = 2;
+  CheckedCluster cluster(config_2l_1g(kN));
+  kv::KvConfig cfg;
+  cfg.clients_per_node = 6;
+  cfg.conn_mode = kv::ConnMode::kBroker;
+  cfg.broker.credits_per_conn = 1;  // one request in flight per pooled conn
+  cfg.broker.peer_queue_limit = 2;  // shed most of a 6-client burst
+  cfg.broker.tenant_queue_limit = 4;
+  kv::System sys(cluster, cfg);
+
+  // A key whose primary is node 1, so node-0 clients cross the broker.
+  std::string key;
+  for (int i = 0; key.empty() && i < 10000; ++i) {
+    std::string k = "hint-key-" + std::to_string(i);
+    const int p = sys.ring().partition_of(kv::fnv1a64(k));
+    if (sys.ring().replicas(p)[0] == 1) key = k;
+  }
+  ASSERT_FALSE(key.empty());
+
+  int rejected = 0;
+  for (int c = 0; c < cfg.clients_per_node; ++c) {
+    sys.spawn_client(0, "cli", [&, c](kv::Client& cl) {
+      for (int i = 0; i < 10; ++i) {
+        const kv::Status st = cl.put(key, "v" + std::to_string(c * 100 + i));
+        if (st == kv::Status::kRejected) {
+          ++rejected;
+          EXPECT_GT(cl.last_retry_after(), 0)
+              << "a broker rejection must carry a retry-after hint";
+          cl.pause(cl.last_retry_after());  // honor the hint, then retry on
+        } else {
+          ASSERT_EQ(st, kv::Status::kOk);
+        }
+      }
+    });
+  }
+  cluster.run();
+
+  const stats::Counters agg = sys.aggregate_counters();
+  EXPECT_GT(rejected, 0) << "the burst never tripped admission control";
+  EXPECT_EQ(agg.get("kv_rejected"), static_cast<std::uint64_t>(rejected));
 }
 
 // ---------------------------------------------------------------------------
